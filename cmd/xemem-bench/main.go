@@ -1,0 +1,71 @@
+// Command xemem-bench regenerates the paper's evaluation (§5–§7): every
+// table and figure, printed as the rows/series the paper reports.
+//
+// Usage:
+//
+//	xemem-bench -experiment fig5|fig6|fig7|fig8|fig9|table2|all [flags]
+//
+// The simulator is deterministic: rerunning with the same -seed reproduces
+// identical numbers. -fast trades repetition count for wall time (the
+// shapes are unchanged; the simulator has no measurement noise to average
+// away).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xemem/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run: fig5, fig6, fig7, fig8, fig9, table2, all")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	fast := flag.Bool("fast", false, "reduced repetition counts for quick runs")
+	flag.Parse()
+
+	reps5, reps6, t2reps, runs8, runs9 := 500, 500, 20, 10, 5
+	if *fast {
+		reps5, reps6, t2reps, runs8, runs9 = 50, 50, 5, 3, 3
+	}
+
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("[%s regenerated in %.1fs wall time]\n\n", name, time.Since(start).Seconds())
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig5") {
+		run("fig5", func() (fmt.Stringer, error) { return experiments.Fig5(*seed, reps5) })
+	}
+	if want("fig6") {
+		run("fig6", func() (fmt.Stringer, error) { return experiments.Fig6(*seed, reps6) })
+	}
+	if want("table2") {
+		run("table2", func() (fmt.Stringer, error) { return experiments.Table2(*seed, t2reps) })
+	}
+	if want("fig7") {
+		run("fig7", func() (fmt.Stringer, error) { return experiments.Fig7(*seed) })
+	}
+	if want("fig8") {
+		run("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(*seed, runs8) })
+	}
+	if want("fig9") {
+		run("fig9", func() (fmt.Stringer, error) { return experiments.Fig9(*seed, runs9) })
+	}
+	switch *exp {
+	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "table2":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module xemem
+
+go 1.22

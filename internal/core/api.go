@@ -1,0 +1,353 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"xemem/internal/extent"
+	"xemem/internal/pagetable"
+	"xemem/internal/proc"
+	"xemem/internal/sim"
+	"xemem/internal/xproto"
+)
+
+const pageSize = extent.PageSize
+
+// AttachAll, passed as the byte count to Attach, maps the whole segment
+// from the given offset — the xpmem_attach convention of passing the
+// segment's full size.
+const AttachAll = ^uint64(0)
+
+// Errors returned by the XPMEM-compatible operations.
+var (
+	ErrNotFound = errors.New("xemem: segment not found")
+	ErrDenied   = errors.New("xemem: permission denied")
+	ErrRemote   = errors.New("xemem: remote operation failed")
+)
+
+func statusErr(st xproto.Status) error {
+	switch st {
+	case xproto.StatusOK:
+		return nil
+	case xproto.StatusNotFound:
+		return ErrNotFound
+	case xproto.StatusDenied:
+		return ErrDenied
+	default:
+		return ErrRemote
+	}
+}
+
+// resolveDst rewrites a name-server-addressed segment command to its
+// owning enclave when this module hosts the name server itself — there is
+// no "toward the NS" link to defer the resolution to.
+func (m *Module) resolveDst(a *sim.Actor, msg *xproto.Message) error {
+	if m.NS == nil || msg.Dst != xproto.NoEnclave {
+		return nil
+	}
+	switch msg.Type {
+	case xproto.MsgGetReq, xproto.MsgAttachReq, xproto.MsgReleaseNotify, xproto.MsgDetachNotify:
+		a.Advance(m.c.NSOp)
+		owner, ok := m.NS.Owner(msg.Segid)
+		if !ok {
+			return ErrNotFound
+		}
+		msg.Dst = owner
+	}
+	return nil
+}
+
+// rpc issues a request from a process actor and blocks until the kernel
+// actor completes it with the routed response.
+func (m *Module) rpc(a *sim.Actor, msg *xproto.Message) (*xproto.Message, error) {
+	msg.ReqID = m.newReqID()
+	msg.Src = m.R.Self()
+	if err := m.resolveDst(a, msg); err != nil {
+		return nil, err
+	}
+	l, err := m.route(msg.Dst)
+	if err != nil {
+		return nil, err
+	}
+	p := &pendingReq{waiter: a}
+	m.pending[msg.ReqID] = p
+	m.sendOn(a, l, msg)
+	for p.resp == nil {
+		a.Block("rpc:" + msg.Type.String())
+	}
+	delete(m.pending, msg.ReqID)
+	if err := statusErr(p.resp.Status); err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, msg.Type)
+	}
+	return p.resp, nil
+}
+
+// notify sends a fire-and-forget command toward the name server.
+func (m *Module) notify(a *sim.Actor, msg *xproto.Message) {
+	msg.Src = m.R.Self()
+	if err := m.resolveDst(a, msg); err != nil {
+		m.Stats.DroppedMessages++
+		return
+	}
+	l, err := m.route(msg.Dst)
+	if err != nil {
+		m.Stats.DroppedMessages++
+		return
+	}
+	m.sendOn(a, l, msg)
+}
+
+func (m *Module) allocApid() xproto.Apid {
+	m.nextApid++
+	return m.nextApid
+}
+
+// Make exports [va, va+bytes) of process p's address space as a shared
+// segment (xpmem_make). The range must be page-aligned and lie within one
+// region. perm is the maximum permission the owner offers. If name is
+// non-empty the segment is also published at the name server for
+// discovery. It returns the globally unique segid.
+func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint64, perm xproto.Perm, name string) (xproto.Segid, error) {
+	m.WaitReady(a)
+	a.Advance(m.c.Syscall)
+	if bytes == 0 || bytes%pageSize != 0 || va.Offset() != 0 {
+		return xproto.NoSegid, fmt.Errorf("xemem: make of unaligned range [%#x,+%d)", uint64(va), bytes)
+	}
+	r := p.AS.FindRegion(va)
+	if r == nil || va+pagetable.VA(bytes) > r.End() {
+		return xproto.NoSegid, fmt.Errorf("xemem: make range [%#x,+%d) not within one region", uint64(va), bytes)
+	}
+
+	var segid xproto.Segid
+	if m.NS != nil {
+		a.Advance(m.c.NSOp)
+		var err error
+		segid, err = m.NS.AllocSegid(m.R.Self())
+		if err != nil {
+			return xproto.NoSegid, err
+		}
+	} else {
+		resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgSegidAllocReq, Dst: xproto.NoEnclave})
+		if err != nil {
+			return xproto.NoSegid, err
+		}
+		segid = xproto.Segid(resp.Value)
+	}
+
+	seg := &Segment{
+		ID: segid, Owner: p, VA: va, PagesN: bytes / pageSize,
+		Perm: perm, permits: make(map[xproto.Apid]*Permit),
+	}
+	m.segs[segid] = seg
+
+	if name != "" {
+		if err := m.publish(a, segid, name); err != nil {
+			delete(m.segs, segid)
+			if m.NS != nil {
+				_ = m.NS.RemoveSegid(segid, m.R.Self())
+			} else {
+				m.notify(a, &xproto.Message{Type: xproto.MsgSegidRemove, Dst: xproto.NoEnclave, Segid: segid})
+			}
+			return xproto.NoSegid, err
+		}
+		seg.Name = name
+	}
+	return segid, nil
+}
+
+func (m *Module) publish(a *sim.Actor, segid xproto.Segid, name string) error {
+	if m.NS != nil {
+		a.Advance(m.c.NSOp)
+		return m.NS.Publish(name, segid, m.R.Self())
+	}
+	_, err := m.rpc(a, &xproto.Message{Type: xproto.MsgNamePublish, Dst: xproto.NoEnclave, Segid: segid, Name: name})
+	return err
+}
+
+// Lookup resolves a published segment name at the name server
+// (discoverability, §3.1).
+func (m *Module) Lookup(a *sim.Actor, name string) (xproto.Segid, error) {
+	m.WaitReady(a)
+	a.Advance(m.c.Syscall)
+	if m.NS != nil {
+		a.Advance(m.c.NSOp)
+		if segid, ok := m.NS.Lookup(name); ok {
+			return segid, nil
+		}
+		return xproto.NoSegid, ErrNotFound
+	}
+	resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgNameLookupReq, Dst: xproto.NoEnclave, Name: name})
+	if err != nil {
+		return xproto.NoSegid, err
+	}
+	return resp.Segid, nil
+}
+
+// Remove retires a segment (xpmem_remove). Only the owning process may
+// remove it. Existing attachments keep their mappings (the frames stay
+// pinned until detach); new gets and attaches fail.
+func (m *Module) Remove(a *sim.Actor, p *proc.Process, segid xproto.Segid) error {
+	m.WaitReady(a)
+	a.Advance(m.c.Syscall)
+	seg, ok := m.segs[segid]
+	if !ok || seg.Removed {
+		return ErrNotFound
+	}
+	if seg.Owner != p {
+		return ErrDenied
+	}
+	seg.Removed = true
+	if m.NS != nil {
+		a.Advance(m.c.NSOp)
+		return m.NS.RemoveSegid(segid, m.R.Self())
+	}
+	m.notify(a, &xproto.Message{Type: xproto.MsgSegidRemove, Dst: xproto.NoEnclave, Segid: segid})
+	return nil
+}
+
+// Get requests access to a segment (xpmem_get) and returns the permission
+// grant (apid). For locally owned segments the grant is immediate; for
+// remote segments the request routes to the owner via the name server.
+func (m *Module) Get(a *sim.Actor, p *proc.Process, segid xproto.Segid, perm xproto.Perm) (xproto.Apid, error) {
+	m.WaitReady(a)
+	a.Advance(m.c.Syscall)
+	if seg, ok := m.segs[segid]; ok {
+		if seg.Removed {
+			return xproto.NoApid, ErrNotFound
+		}
+		if perm&^seg.Perm != 0 {
+			return xproto.NoApid, ErrDenied
+		}
+		apid := m.allocApid()
+		seg.permits[apid] = &Permit{Apid: apid, Perm: perm, Holder: m.R.Self(), HolderP: p}
+		return apid, nil
+	}
+	resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgGetReq, Dst: xproto.NoEnclave, Segid: segid, Perm: perm})
+	if err != nil {
+		return xproto.NoApid, err
+	}
+	return resp.Apid, nil
+}
+
+// Release drops a permission grant (xpmem_release).
+func (m *Module) Release(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid xproto.Apid) error {
+	m.WaitReady(a)
+	a.Advance(m.c.Syscall)
+	if seg, ok := m.segs[segid]; ok {
+		permit, ok := seg.permits[apid]
+		if !ok || permit.HolderP != p {
+			return ErrDenied
+		}
+		delete(seg.permits, apid)
+		return nil
+	}
+	m.notify(a, &xproto.Message{Type: xproto.MsgReleaseNotify, Dst: xproto.NoEnclave, Segid: segid, Apid: apid})
+	return nil
+}
+
+// Attach maps bytes of the segment starting at the given byte offset into
+// process p (xpmem_attach) and returns the new virtual address. Local
+// segments use the kernel's local sharing facility; remote segments run
+// the Fig. 3 protocol: the request routes through the name server to the
+// owner, the owner's frame list routes back (translated across VM
+// boundaries by the channels it crosses), and the local kernel maps it.
+// bytes == AttachAll (or 0) maps the whole segment from offset onward,
+// matching xpmem_attach's "size of segment" convention.
+func (m *Module) Attach(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid xproto.Apid, offset, bytes uint64, perm xproto.Perm) (pagetable.VA, error) {
+	m.WaitReady(a)
+	a.Advance(m.c.Syscall)
+	if offset%pageSize != 0 {
+		return 0, fmt.Errorf("xemem: attach at unaligned offset %#x", offset)
+	}
+	if bytes == 0 || bytes == AttachAll {
+		// Whole-segment attach: the owner resolves the true size. For a
+		// local segment we know it; for a remote one we request with
+		// Pages == 0 and the owner serves the remainder.
+		if seg, ok := m.segs[segid]; ok {
+			if offset >= seg.Bytes() {
+				return 0, fmt.Errorf("xemem: attach offset beyond segment")
+			}
+			bytes = seg.Bytes() - offset
+		} else {
+			bytes = 0 // resolved at the owner
+		}
+	}
+	pages := (bytes + pageSize - 1) / pageSize
+
+	if seg, ok := m.segs[segid]; ok {
+		if seg.Removed {
+			return 0, ErrNotFound
+		}
+		permit := seg.permits[apid]
+		if permit == nil || permit.HolderP != p || perm&^permit.Perm != 0 {
+			return 0, ErrDenied
+		}
+		offPages := offset / pageSize
+		if offPages+pages > seg.PagesN {
+			return 0, fmt.Errorf("xemem: attach range exceeds segment")
+		}
+		region, err := m.os.AttachLocal(a, seg, p, offPages, pages, perm)
+		if err != nil {
+			return 0, err
+		}
+		seg.attaches++
+		m.attachments[region] = &Attachment{Region: region, Segid: segid, Apid: apid, Local: true}
+		m.Stats.AttachesMade++
+		return region.Base, nil
+	}
+
+	resp, err := m.rpc(a, &xproto.Message{
+		Type: xproto.MsgAttachReq, Dst: xproto.NoEnclave,
+		Segid: segid, Apid: apid, Offset: offset, Pages: pages, Perm: perm,
+	})
+	if err != nil {
+		return 0, err
+	}
+	region, err := m.os.MapRemote(a, p, resp.List, perm)
+	if err != nil {
+		return 0, err
+	}
+	m.attachments[region] = &Attachment{Region: region, Segid: segid, Apid: apid, Local: false, offset: offset}
+	m.Stats.AttachesMade++
+	return region.Base, nil
+}
+
+// Detach unmaps an attachment by any address inside it (xpmem_detach).
+func (m *Module) Detach(a *sim.Actor, p *proc.Process, va pagetable.VA) error {
+	m.WaitReady(a)
+	a.Advance(m.c.Syscall)
+	region := p.AS.FindRegion(va)
+	if region == nil {
+		return fmt.Errorf("xemem: detach of unmapped address %#x", uint64(va))
+	}
+	att, ok := m.attachments[region]
+	if !ok {
+		return fmt.Errorf("xemem: %#x is not an XEMEM attachment", uint64(va))
+	}
+	if att.Local {
+		if err := m.os.DetachLocal(a, p, region); err != nil {
+			return err
+		}
+		if seg, ok := m.segs[att.Segid]; ok {
+			seg.attaches--
+		}
+	} else {
+		pages := region.Pages()
+		if err := m.os.UnmapRemote(a, p, region); err != nil {
+			return err
+		}
+		m.notify(a, &xproto.Message{
+			Type: xproto.MsgDetachNotify, Dst: xproto.NoEnclave,
+			Segid: att.Segid, Apid: att.Apid, Offset: att.offset, Pages: pages,
+		})
+	}
+	delete(m.attachments, region)
+	return nil
+}
+
+// Segment returns the owner-side record for a locally owned segid
+// (diagnostics and tests).
+func (m *Module) Segment(segid xproto.Segid) (*Segment, bool) {
+	s, ok := m.segs[segid]
+	return s, ok
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"xemem/internal/sim"
+	"xemem/internal/xproto"
+)
+
+// bootstrap performs the §3.2 joining protocol on the kernel actor:
+//
+//  1. Broadcast MsgPingNS on every channel. A neighbour replies MsgPongNS
+//     if it has a path to the name server; neighbours that do not yet
+//     have one remember the ping and answer when they bootstrap, so boot
+//     order between siblings does not matter.
+//  2. The channel the first pong arrives on becomes the default route
+//     toward the name server.
+//  3. Send a hop-routed MsgEnclaveIDReq toward the name server. Every
+//     intermediate enclave records the arrival link in its outstanding
+//     request list and forwards; the name server allocates an ID and the
+//     response retraces the path, with each hop learning a route to the
+//     new enclave as it passes (§3.2's map maintenance).
+//
+// While waiting, the kernel keeps handling other traffic — it may itself
+// be a forwarding hop for enclaves deeper in the tree.
+func (m *Module) bootstrap(a *sim.Actor) {
+	if len(m.links) == 0 {
+		panic(fmt.Sprintf("core: enclave %s has no channels and does not host the name server", m.name))
+	}
+	pingReq := m.newReqID()
+	for _, l := range m.links {
+		m.sendOn(a, l, &xproto.Message{Type: xproto.MsgPingNS, ReqID: pingReq})
+	}
+	for m.R.NSLink() == nil {
+		msg, via, ok := m.receive(a)
+		if !ok {
+			continue
+		}
+		if msg.Type == xproto.MsgPongNS && msg.ReqID == pingReq {
+			m.R.SetNSLink(via)
+			break
+		}
+		m.handle(a, msg, via)
+	}
+
+	idReq := m.newReqID()
+	m.sendOn(a, m.R.NSLink(), &xproto.Message{Type: xproto.MsgEnclaveIDReq, ReqID: idReq})
+	for m.R.Self() == xproto.NoEnclave {
+		msg, via, ok := m.receive(a)
+		if !ok {
+			continue
+		}
+		if msg.Type == xproto.MsgEnclaveIDResp && msg.ReqID == idReq {
+			m.R.SetSelf(xproto.EnclaveID(msg.Value))
+			break
+		}
+		m.handle(a, msg, via)
+	}
+}
+
+// flushPendingPings answers pings that arrived before this enclave had a
+// path to the name server.
+func (m *Module) flushPendingPings(a *sim.Actor) {
+	pings := m.pendingPings
+	m.pendingPings = nil
+	for _, p := range pings {
+		m.sendOn(a, p.via, &xproto.Message{Type: xproto.MsgPongNS, ReqID: p.reqID})
+	}
+}

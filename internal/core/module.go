@@ -1,0 +1,364 @@
+// Package core implements the XEMEM kernel module — the paper's primary
+// contribution (§4). One Module runs inside every enclave OS/R. It
+// provides:
+//
+//   - the XPMEM-compatible segment registry (export, permit, attach,
+//     detach state) backing the Table 1 API;
+//   - the shared-memory protocol of Fig. 3: segid allocation at the
+//     central name server, attachment requests routed to the owning
+//     enclave, page-frame lists routed back;
+//   - the §3.2 bootstrap: name-server discovery by broadcast, enclave-ID
+//     allocation over hop-routed requests, and passive route learning;
+//   - message forwarding for arbitrary hierarchical enclave topologies.
+//
+// The module is OS-agnostic: each enclave kernel (Kitten, Linux, a Linux
+// guest under Palacios) plugs in through the OS interface, which performs
+// the actual page-table walking and mapping using that kernel's own
+// conventions (§3.4, localized address space management).
+package core
+
+import (
+	"fmt"
+
+	"xemem/internal/extent"
+	"xemem/internal/nameserver"
+	"xemem/internal/pagetable"
+	"xemem/internal/proc"
+	"xemem/internal/router"
+	"xemem/internal/sim"
+	"xemem/internal/xproto"
+)
+
+// OS is the hook set an enclave kernel provides to its XEMEM module. All
+// methods charge their own simulated costs (the per-page prices differ
+// between kernels, which is much of what the evaluation measures).
+type OS interface {
+	// OSName identifies the kernel ("kitten0", "linux", "vm1-guest").
+	OSName() string
+
+	// KernelCore is the core on which kernel-level XEMEM work (message
+	// handling, serve-side walks) executes. For the Linux management
+	// enclave under Pisces this is core 0 (§5.3).
+	KernelCore() *sim.Core
+
+	// WalkForExport generates the frame list (in the kernel's physical
+	// domain) backing pages [va, va+pages) of the address space,
+	// pinning/populating as required.
+	WalkForExport(a *sim.Actor, as *proc.AddressSpace, va pagetable.VA, pages uint64) (extent.List, error)
+
+	// MapRemote maps a frame list received from a remote enclave into the
+	// process and returns the new region. The list is already in this
+	// kernel's physical domain (cross-domain translation happens in the
+	// channel, per Fig. 4).
+	MapRemote(a *sim.Actor, p *proc.Process, list extent.List, perm xproto.Perm) (*proc.Region, error)
+
+	// UnmapRemote tears down a region created by MapRemote.
+	UnmapRemote(a *sim.Actor, p *proc.Process, r *proc.Region) error
+
+	// AttachLocal attaches pages [off, off+pages) of a locally owned
+	// segment using the kernel's local sharing facility (SMARTMAP on
+	// Kitten, fault-populated mappings on Linux).
+	AttachLocal(a *sim.Actor, seg *Segment, p *proc.Process, offPages, pages uint64, perm xproto.Perm) (*proc.Region, error)
+
+	// DetachLocal tears down a region created by AttachLocal.
+	DetachLocal(a *sim.Actor, p *proc.Process, r *proc.Region) error
+}
+
+// Segment is one exported address region (the owner-side record).
+type Segment struct {
+	ID      xproto.Segid
+	Owner   *proc.Process
+	VA      pagetable.VA
+	PagesN  uint64
+	Perm    xproto.Perm // maximum permission the owner offers
+	Name    string      // published name, if any
+	Removed bool
+
+	permits map[xproto.Apid]*Permit
+	// pinned tracks host-frame pins taken per remote serve so detach can
+	// release them.
+	attaches int
+}
+
+// Bytes reports the segment size in bytes.
+func (s *Segment) Bytes() uint64 { return s.PagesN * extent.PageSize }
+
+// Permit is an access grant created by xpmem_get.
+type Permit struct {
+	Apid    xproto.Apid
+	Perm    xproto.Perm
+	Holder  xproto.EnclaveID // enclave the grant was issued to
+	HolderP *proc.Process    // local holder, when Holder is this enclave
+}
+
+// Attachment is the attacher-side record of one mapped region.
+type Attachment struct {
+	Region *proc.Region
+	Segid  xproto.Segid
+	Apid   xproto.Apid
+	Local  bool
+	// offset is the byte offset within the segment a remote attachment
+	// covers; the detach notification carries it so the owner can release
+	// the matching pins.
+	offset uint64
+}
+
+// Stats counts protocol activity for the scalability analysis.
+type Stats struct {
+	MsgsSent        int
+	MsgsReceived    int
+	MsgsForwarded   int
+	BytesSent       int
+	AttachesServed  int
+	PagesServed     uint64
+	AttachesMade    int
+	DecodeErrors    int
+	DroppedMessages int
+}
+
+type pendingReq struct {
+	waiter *sim.Actor
+	resp   *xproto.Message
+}
+
+// Module is one enclave's XEMEM kernel module.
+type Module struct {
+	name string
+	w    *sim.World
+	c    *sim.Costs
+	os   OS
+
+	R  *router.Router
+	In *xproto.Inbox
+	NS *nameserver.NS // non-nil when this enclave hosts the name server
+
+	links        []xproto.Link
+	kernel       *sim.Actor
+	workers      int
+	ready        bool
+	stopped      bool
+	pendingPings []pendingPing
+
+	segs        map[xproto.Segid]*Segment
+	attachments map[*proc.Region]*Attachment
+	pending     map[uint64]*pendingReq
+	nextReq     uint64
+	nextApid    xproto.Apid
+
+	Stats Stats
+
+	// Trace, when non-nil, observes every message this module sends
+	// (after routing, before encoding). Tests use it to assert protocol
+	// sequences; it costs nothing when nil.
+	Trace func(msg *xproto.Message)
+}
+
+type pendingPing struct {
+	via   xproto.Link
+	reqID uint64
+}
+
+// New creates a module for one enclave. hostNS selects the enclave that
+// hosts the centralized name server (normally the management enclave).
+func New(name string, w *sim.World, costs *sim.Costs, os OS, hostNS bool) *Module {
+	m := &Module{
+		name:        name,
+		w:           w,
+		c:           costs,
+		os:          os,
+		R:           router.New(),
+		In:          xproto.NewInbox(name),
+		segs:        make(map[xproto.Segid]*Segment),
+		attachments: make(map[*proc.Region]*Attachment),
+		pending:     make(map[uint64]*pendingReq),
+		nextReq:     w.NewRNG().Uint64(), // per-module base avoids cross-enclave ReqID collisions
+	}
+	if hostNS {
+		m.NS = nameserver.New()
+		m.R.SetSelf(xproto.NameServerID)
+	}
+	return m
+}
+
+// Name reports the module's diagnostic name.
+func (m *Module) Name() string { return m.name }
+
+// Costs exposes the cost model (used by channel implementations).
+func (m *Module) Costs() *sim.Costs { return m.c }
+
+// World exposes the simulation world.
+func (m *Module) World() *sim.World { return m.w }
+
+// OS exposes the owning kernel's hook set.
+func (m *Module) OS() OS { return m.os }
+
+// EnclaveID reports this enclave's assigned ID (NoEnclave until the
+// bootstrap completes).
+func (m *Module) EnclaveID() xproto.EnclaveID { return m.R.Self() }
+
+// AddLink wires a communication channel endpoint into the module. Links
+// must be added before Start.
+func (m *Module) AddLink(l xproto.Link) { m.links = append(m.links, l) }
+
+// Links reports the module's channel endpoints.
+func (m *Module) Links() []xproto.Link { return m.links }
+
+// Ready reports whether the bootstrap has completed.
+func (m *Module) Ready() bool { return m.ready }
+
+// WaitReady polls until the module's kernel finishes bootstrapping. User
+// processes call it before their first XPMEM operation.
+func (m *Module) WaitReady(a *sim.Actor) {
+	a.Poll(10*sim.Microsecond, func() bool { return m.ready })
+}
+
+// SetKernelWorkers configures how many kernel actors serve the message
+// loop — the paper's §5.3 future work ("more intelligent mechanisms for
+// interrupt handling"): with 1 (the default, and the Pisces behaviour the
+// paper measures), every cross-enclave message is handled on the kernel
+// core; with n > 1, handling spreads over the OS's kernel cores. Must be
+// called before Start.
+func (m *Module) SetKernelWorkers(n int) {
+	if m.kernel != nil {
+		panic("core: SetKernelWorkers after Start")
+	}
+	if n < 1 {
+		n = 1
+	}
+	m.workers = n
+}
+
+// kernelCores resolves the cores the workers handle messages on: the
+// OS's kernel core for worker 0, spreading over KernelCores when the OS
+// exposes more.
+func (m *Module) kernelCores() []*sim.Core {
+	type multi interface{ KernelCores() []*sim.Core }
+	if mc, ok := m.os.(multi); ok {
+		if cores := mc.KernelCores(); len(cores) > 0 {
+			return cores
+		}
+	}
+	return []*sim.Core{m.os.KernelCore()}
+}
+
+// Start spawns the enclave's kernel actor(s): worker 0 bootstraps onto
+// the name server (unless this enclave hosts it) and then all workers
+// serve the message loop forever.
+func (m *Module) Start() {
+	if m.kernel != nil {
+		panic("core: module started twice")
+	}
+	if m.workers == 0 {
+		m.workers = 1
+	}
+	cores := m.kernelCores()
+	m.kernel = m.w.Spawn(m.name+"/kernel", func(a *sim.Actor) {
+		a.SetDaemon()
+		if m.NS == nil {
+			m.bootstrap(a)
+		}
+		m.ready = true
+		m.flushPendingPings(a)
+		m.loop(a, cores[0])
+	})
+	for i := 1; i < m.workers; i++ {
+		core := cores[i%len(cores)]
+		m.w.Spawn(fmt.Sprintf("%s/kernel%d", m.name, i), func(a *sim.Actor) {
+			a.SetDaemon()
+			m.WaitReady(a)
+			m.loop(a, core)
+		})
+	}
+}
+
+// loop serves deliveries until a shutdown poison arrives, charging
+// receive handling on core.
+func (m *Module) loop(a *sim.Actor, core *sim.Core) {
+	for {
+		msg, via, ok := m.receiveOn(a, core)
+		if !ok {
+			if m.stopped {
+				return
+			}
+			continue
+		}
+		m.handle(a, msg, via)
+	}
+}
+
+// Stop tears the module down (dynamic enclave destruction, §3.2). It
+// refuses while any locally owned segment still has live remote
+// attachments — their frames are pinned by other enclaves. Routes other
+// enclaves hold toward this one go stale; messages they send are dropped,
+// as on a real node whose partition was reclaimed.
+func (m *Module) Stop(a *sim.Actor) error {
+	if m.stopped {
+		return fmt.Errorf("core: %s already stopped", m.name)
+	}
+	for segid, seg := range m.segs {
+		if seg.attaches > 0 {
+			return fmt.Errorf("core: segment %d still has %d live attachment(s)", segid, seg.attaches)
+		}
+	}
+	if len(m.attachments) > 0 {
+		return fmt.Errorf("core: %d local attachment(s) to remote memory still mapped", len(m.attachments))
+	}
+	m.stopped = true
+	for i := 0; i < m.workers; i++ {
+		m.In.PutShutdown(a)
+	}
+	return nil
+}
+
+// Stopped reports whether the module has been torn down.
+func (m *Module) Stopped() bool { return m.stopped }
+
+func (m *Module) newReqID() uint64 {
+	m.nextReq++
+	return m.nextReq
+}
+
+// receive blocks for the next delivery, charges receive-side handling on
+// the kernel core, and decodes it.
+func (m *Module) receive(a *sim.Actor) (*xproto.Message, xproto.Link, bool) {
+	return m.receiveOn(a, m.os.KernelCore())
+}
+
+// receiveOn is receive with an explicit handling core (distributed
+// interrupt handling runs workers on several cores).
+func (m *Module) receiveOn(a *sim.Actor, core *sim.Core) (*xproto.Message, xproto.Link, bool) {
+	d := m.In.Get(a)
+	if d.Buf == nil {
+		return nil, nil, false // shutdown poison
+	}
+	m.Stats.MsgsReceived++
+	core.Exec(a, m.c.IPIHandler+sim.CopyTime(len(d.Buf), m.c.ChanBW), "xemem-msg")
+	msg, err := xproto.Decode(d.Buf)
+	if err != nil {
+		m.Stats.DecodeErrors++
+		return nil, nil, false
+	}
+	return msg, d.Via, true
+}
+
+// sendOn encodes and transmits msg on the given link, charging the acting
+// actor the fixed per-message kernel cost; the link charges its own
+// transfer costs.
+func (m *Module) sendOn(a *sim.Actor, l xproto.Link, msg *xproto.Message) {
+	m.Stats.MsgsSent++
+	m.Stats.BytesSent += msg.EncodedSize()
+	if m.Trace != nil {
+		m.Trace(msg)
+	}
+	a.Advance(m.c.MsgFixed)
+	l.Send(a, msg)
+}
+
+// route resolves the outgoing link for dst, erroring when undeliverable.
+func (m *Module) route(dst xproto.EnclaveID) (xproto.Link, error) {
+	l, ok := m.R.Route(dst)
+	if !ok {
+		return nil, fmt.Errorf("core: %s cannot route to enclave %d", m.name, dst)
+	}
+	return l, nil
+}

@@ -1,0 +1,197 @@
+package extent
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendCoalesces(t *testing.T) {
+	var l List
+	l.Append(10, 5)
+	l.Append(15, 5) // adjacent: coalesce
+	l.Append(30, 2) // gap: new extent
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	if l.Pages() != 12 {
+		t.Fatalf("Pages = %d, want 12", l.Pages())
+	}
+	if l.Extents()[0] != (Extent{First: 10, Count: 10}) {
+		t.Fatalf("first extent = %v", l.Extents()[0])
+	}
+}
+
+func TestAppendZeroIgnored(t *testing.T) {
+	var l List
+	l.Append(5, 0)
+	if l.Len() != 0 || l.Pages() != 0 {
+		t.Fatalf("zero append changed list: %v", l)
+	}
+}
+
+func TestFromPagesCoalesces(t *testing.T) {
+	l := FromPages([]PFN{1, 2, 3, 7, 8, 100})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Pages() != 6 {
+		t.Fatalf("Pages = %d, want 6", l.Pages())
+	}
+}
+
+func TestPageIndexing(t *testing.T) {
+	l := FromExtents(Extent{10, 3}, Extent{100, 2})
+	want := []PFN{10, 11, 12, 100, 101}
+	for i, w := range want {
+		got, err := l.Page(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("Page(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if _, err := l.Page(5); err == nil {
+		t.Fatal("Page(5) should fail")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	l := FromExtents(Extent{10, 4}, Extent{50, 4})
+	s, err := l.Slice(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromExtents(Extent{12, 2}, Extent{50, 2})
+	if !s.Equal(want) {
+		t.Fatalf("Slice = %v, want %v", s, want)
+	}
+	if _, err := l.Slice(6, 4); err == nil {
+		t.Fatal("out-of-range slice should fail")
+	}
+	// Full slice is identity.
+	full, err := l.Slice(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Equal(l) {
+		t.Fatalf("full slice %v != original %v", full, l)
+	}
+	// Empty slice.
+	empty, err := l.Slice(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Pages() != 0 {
+		t.Fatalf("empty slice has %d pages", empty.Pages())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l := FromExtents(Extent{0xdeadb, 17}, Extent{1, 1}, Extent{0xffff0, 512})
+	buf := l.Encode(nil)
+	if len(buf) != l.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), l.EncodedSize())
+	}
+	got, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	if !got.Equal(l) {
+		t.Fatalf("round trip: %v != %v", got, l)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	l := FromExtents(Extent{1, 2})
+	buf := l.Encode(nil)
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := Decode(buf[:i]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes should fail", i, len(buf))
+		}
+	}
+}
+
+func TestDecodeRejectsZeroExtent(t *testing.T) {
+	// Hand-craft an encoding with a zero-count extent.
+	var l List
+	l.exts = append(l.exts, Extent{First: 1, Count: 0})
+	buf := l.Encode(nil)
+	if _, _, err := Decode(buf); err == nil {
+		t.Fatal("zero-count extent should be rejected")
+	}
+}
+
+// Property: slicing then re-concatenating reproduces the original list.
+func TestSliceConcatProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seeds []uint16, cut uint16) bool {
+		var l List
+		base := PFN(1)
+		for _, s := range seeds {
+			count := uint64(s%64) + 1
+			gap := PFN(s % 7)
+			if gap > 0 {
+				base += gap // force a new extent
+			}
+			l.Append(base, count)
+			base += PFN(count)
+		}
+		if l.Pages() == 0 {
+			return true
+		}
+		k := uint64(cut) % l.Pages()
+		a, err := l.Slice(0, k)
+		if err != nil {
+			return false
+		}
+		b, err := l.Slice(k, l.Pages()-k)
+		if err != nil {
+			return false
+		}
+		a.AppendList(b)
+		return a.Equal(l)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary generated lists.
+func TestEncodeDecodeProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seeds []uint32) bool {
+		var l List
+		base := PFN(0)
+		for _, s := range seeds {
+			base += PFN(s%1000) + 1
+			l.Append(base, uint64(s%500)+1)
+			base += PFN(s%500) + 1
+		}
+		got, rest, err := Decode(l.Encode(nil))
+		return err == nil && len(rest) == 0 && got.Equal(l)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Page(i) agrees with element-wise expansion.
+func TestPageAgreesWithExpansion(t *testing.T) {
+	l := FromExtents(Extent{5, 3}, Extent{20, 1}, Extent{9, 2})
+	var flat []PFN
+	for _, e := range l.Extents() {
+		for i := uint64(0); i < e.Count; i++ {
+			flat = append(flat, e.First+PFN(i))
+		}
+	}
+	for i, w := range flat {
+		got, err := l.Page(uint64(i))
+		if err != nil || got != w {
+			t.Fatalf("Page(%d) = %d,%v want %d", i, got, err, w)
+		}
+	}
+}

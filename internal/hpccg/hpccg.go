@@ -1,0 +1,150 @@
+// Package hpccg implements the HPCCG mini-application from the Mantevo
+// suite (Heroux et al.) that the paper's composed workload uses as its
+// HPC simulation component (§6.1): a conjugate-gradient solver on a
+// 27-point stencil over a 3-D grid, with a sparse CSR matrix, generated so
+// the exact solution is the all-ones vector.
+//
+// This is the real numerical kernel — the in situ example runs it and
+// ships its iterates to the analytics component through XEMEM. The timed
+// figure-8/9 harnesses use a calibrated per-iteration cost with the same
+// communication structure.
+package hpccg
+
+import (
+	"errors"
+	"math"
+)
+
+// Matrix is a square sparse matrix in CSR form.
+type Matrix struct {
+	N          int
+	RowPtr     []int
+	ColIdx     []int
+	Vals       []float64
+	nx, ny, nz int
+}
+
+// Generate builds the 27-point stencil problem on an nx×ny×nz grid:
+// diagonal 27, off-diagonals -1 for every neighbouring grid point —
+// symmetric and strictly diagonally dominant, hence SPD. It returns the
+// matrix, the right-hand side b = A·1, and the exact solution (ones).
+func Generate(nx, ny, nz int) (*Matrix, []float64, []float64) {
+	n := nx * ny * nz
+	m := &Matrix{N: n, RowPtr: make([]int, n+1), nx: nx, ny: ny, nz: nz}
+	idx := func(x, y, z int) int { return z*nx*ny + y*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				row := idx(x, y, z)
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							cx, cy, cz := x+dx, y+dy, z+dz
+							if cx < 0 || cx >= nx || cy < 0 || cy >= ny || cz < 0 || cz >= nz {
+								continue
+							}
+							col := idx(cx, cy, cz)
+							m.ColIdx = append(m.ColIdx, col)
+							if col == row {
+								m.Vals = append(m.Vals, 27)
+							} else {
+								m.Vals = append(m.Vals, -1)
+							}
+						}
+					}
+				}
+				m.RowPtr[row+1] = len(m.ColIdx)
+			}
+		}
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, n)
+	m.SpMV(ones, b)
+	return m, b, ones
+}
+
+// SpMV computes y = A·x.
+func (m *Matrix) SpMV(x, y []float64) {
+	for i := 0; i < m.N; i++ {
+		sum := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// Dot computes xᵀy.
+func Dot(x, y []float64) float64 {
+	sum := 0.0
+	for i := range x {
+		sum += x[i] * y[i]
+	}
+	return sum
+}
+
+// Waxpby computes w = alpha·x + beta·y.
+func Waxpby(alpha float64, x []float64, beta float64, y, w []float64) {
+	for i := range w {
+		w[i] = alpha*x[i] + beta*y[i]
+	}
+}
+
+// Progress is invoked after each CG iteration with the iteration number
+// (1-based) and current residual norm. Returning false stops the solve —
+// it is how the in situ driver interleaves analytics communication with
+// the solver's natural iteration boundary.
+type Progress func(iter int, residual float64) bool
+
+// Solve runs conjugate gradient from the zero vector, stopping at maxIter
+// iterations or residual tolerance tol. It returns the solution,
+// iterations executed, and the final residual norm.
+func (m *Matrix) Solve(b []float64, maxIter int, tol float64, progress Progress) ([]float64, int, float64, error) {
+	if len(b) != m.N {
+		return nil, 0, 0, errors.New("hpccg: rhs size mismatch")
+	}
+	x := make([]float64, m.N)
+	r := make([]float64, m.N)
+	p := make([]float64, m.N)
+	ap := make([]float64, m.N)
+	copy(r, b) // r = b - A·0
+	copy(p, r)
+	rtr := Dot(r, r)
+	resid := math.Sqrt(rtr)
+	iters := 0
+	for iters < maxIter && resid > tol {
+		m.SpMV(p, ap)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return x, iters, resid, errors.New("hpccg: matrix not positive definite")
+		}
+		alpha := rtr / pap
+		Waxpby(1, x, alpha, p, x)
+		Waxpby(1, r, -alpha, ap, r)
+		rtrNew := Dot(r, r)
+		beta := rtrNew / rtr
+		rtr = rtrNew
+		resid = math.Sqrt(rtr)
+		Waxpby(1, r, beta, p, p)
+		iters++
+		if progress != nil && !progress(iters, resid) {
+			break
+		}
+	}
+	return x, iters, resid, nil
+}
+
+// ResidualNorm computes ‖b − A·x‖₂ for verification.
+func (m *Matrix) ResidualNorm(x, b []float64) float64 {
+	ax := make([]float64, m.N)
+	m.SpMV(x, ax)
+	sum := 0.0
+	for i := range ax {
+		d := b[i] - ax[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,120 @@
+package hpccg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateStructure(t *testing.T) {
+	m, b, exact := Generate(4, 4, 4)
+	if m.N != 64 {
+		t.Fatalf("N = %d", m.N)
+	}
+	// Interior point has 27 entries; corner has 8.
+	interiorRow := 1*16 + 1*4 + 1
+	if got := m.RowPtr[interiorRow+1] - m.RowPtr[interiorRow]; got != 27 {
+		t.Fatalf("interior row has %d entries, want 27", got)
+	}
+	if got := m.RowPtr[1] - m.RowPtr[0]; got != 8 {
+		t.Fatalf("corner row has %d entries, want 8", got)
+	}
+	if len(b) != 64 || len(exact) != 64 {
+		t.Fatalf("vector sizes %d/%d", len(b), len(exact))
+	}
+	// Row sum = 27 - (neighbours): corner row sum = 27 - 7 = 20, so
+	// b[corner] (with x = ones) = 20.
+	if b[0] != 20 {
+		t.Fatalf("b[0] = %v, want 20", b[0])
+	}
+}
+
+func TestMatrixSymmetric(t *testing.T) {
+	m, _, _ := Generate(3, 3, 3)
+	// Extract dense and compare transposes.
+	dense := make([][]float64, m.N)
+	for i := range dense {
+		dense[i] = make([]float64, m.N)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			dense[i][m.ColIdx[k]] = m.Vals[k]
+		}
+	}
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if dense[i][j] != dense[j][i] {
+				t.Fatalf("A[%d][%d] = %v != A[%d][%d] = %v", i, j, dense[i][j], j, i, dense[j][i])
+			}
+		}
+	}
+}
+
+func TestSolveConvergesToOnes(t *testing.T) {
+	m, b, exact := Generate(8, 8, 8)
+	x, iters, resid, err := m.Solve(b, 200, 1e-10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 || iters == 200 {
+		t.Fatalf("iters = %d", iters)
+	}
+	if resid > 1e-10 {
+		t.Fatalf("residual %g did not converge", resid)
+	}
+	for i, v := range x {
+		if math.Abs(v-exact[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want 1", i, v)
+		}
+	}
+	// Independent residual check.
+	if rn := m.ResidualNorm(x, b); rn > 1e-9 {
+		t.Fatalf("‖b-Ax‖ = %g", rn)
+	}
+}
+
+func TestResidualMonotoneOverall(t *testing.T) {
+	m, b, _ := Generate(6, 6, 6)
+	var resids []float64
+	_, _, _, err := m.Solve(b, 50, 0, func(_ int, r float64) bool {
+		resids = append(resids, r)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resids) < 5 {
+		t.Fatalf("only %d iterations recorded", len(resids))
+	}
+	if resids[len(resids)-1] >= resids[0] {
+		t.Fatalf("residual did not decrease: %g → %g", resids[0], resids[len(resids)-1])
+	}
+}
+
+func TestProgressCanStopEarly(t *testing.T) {
+	m, b, _ := Generate(6, 6, 6)
+	_, iters, _, err := m.Solve(b, 100, 0, func(it int, _ float64) bool { return it < 7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 7 {
+		t.Fatalf("iters = %d, want early stop at 7", iters)
+	}
+}
+
+func TestDotWaxpby(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Fatalf("dot = %v", got)
+	}
+	w := make([]float64, 3)
+	Waxpby(2, x, -1, y, w)
+	if w[0] != -2 || w[1] != -1 || w[2] != 0 {
+		t.Fatalf("waxpby = %v", w)
+	}
+}
+
+func TestSolveSizeMismatch(t *testing.T) {
+	m, _, _ := Generate(3, 3, 3)
+	if _, _, _, err := m.Solve(make([]float64, 5), 10, 0, nil); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Package nameserver implements the centralized name server of §3.1: the
+// single authority for enclave-ID allocation, globally unique segment-ID
+// allocation, the segid→owner map used to route attachment commands, and
+// the name registry that gives processes discoverability without local
+// IPC constructs.
+//
+// The name server is deliberately passive state — the paper implements it
+// "as a component of our XEMEM kernel module", and so do we: the enclave
+// module that hosts it (normally the management enclave's) invokes these
+// methods from its message loop.
+package nameserver
+
+import (
+	"fmt"
+	"sort"
+
+	"xemem/internal/xproto"
+)
+
+// NS is the name server's state.
+type NS struct {
+	nextEnclave xproto.EnclaveID
+	nextSegid   xproto.Segid
+	owners      map[xproto.Segid]xproto.EnclaveID
+	names       map[string]xproto.Segid
+
+	// Counters for the scalability analysis.
+	EnclaveAllocs int
+	SegidAllocs   int
+	Lookups       int
+	Forwards      int
+}
+
+// New returns an empty name server. The hosting enclave holds ID 1; the
+// first allocated enclave ID is 2. Segids start above zero so a zero
+// Segid is always invalid.
+func New() *NS {
+	return &NS{
+		nextEnclave: xproto.NameServerID + 1,
+		nextSegid:   0x1000,
+		owners:      make(map[xproto.Segid]xproto.EnclaveID),
+		names:       make(map[string]xproto.Segid),
+	}
+}
+
+// AllocEnclaveID hands out the next enclave ID.
+func (ns *NS) AllocEnclaveID() xproto.EnclaveID {
+	id := ns.nextEnclave
+	ns.nextEnclave++
+	ns.EnclaveAllocs++
+	return id
+}
+
+// AllocSegid allocates a globally unique segment ID owned by the given
+// enclave.
+func (ns *NS) AllocSegid(owner xproto.EnclaveID) (xproto.Segid, error) {
+	if owner == xproto.NoEnclave {
+		return xproto.NoSegid, fmt.Errorf("nameserver: segid requested by unidentified enclave")
+	}
+	s := ns.nextSegid
+	ns.nextSegid++
+	ns.owners[s] = owner
+	ns.SegidAllocs++
+	return s, nil
+}
+
+// Owner reports the enclave owning segid.
+func (ns *NS) Owner(s xproto.Segid) (xproto.EnclaveID, bool) {
+	e, ok := ns.owners[s]
+	return e, ok
+}
+
+// RemoveSegid retires a segid. Only the owning enclave may remove it. Any
+// names bound to it are dropped.
+func (ns *NS) RemoveSegid(s xproto.Segid, requester xproto.EnclaveID) error {
+	owner, ok := ns.owners[s]
+	if !ok {
+		return fmt.Errorf("nameserver: unknown segid %d", s)
+	}
+	if owner != requester {
+		return fmt.Errorf("nameserver: enclave %d cannot remove segid %d owned by %d", requester, s, owner)
+	}
+	delete(ns.owners, s)
+	for name, bound := range ns.names {
+		if bound == s {
+			delete(ns.names, name)
+		}
+	}
+	return nil
+}
+
+// Publish binds a human-readable name to a segid so processes in other
+// enclaves can discover it. The segid must exist and be published by its
+// owner; names are first-come single-writer.
+func (ns *NS) Publish(name string, s xproto.Segid, requester xproto.EnclaveID) error {
+	if name == "" {
+		return fmt.Errorf("nameserver: empty name")
+	}
+	owner, ok := ns.owners[s]
+	if !ok {
+		return fmt.Errorf("nameserver: publish of unknown segid %d", s)
+	}
+	if owner != requester {
+		return fmt.Errorf("nameserver: enclave %d cannot publish segid %d owned by %d", requester, s, owner)
+	}
+	if bound, taken := ns.names[name]; taken && bound != s {
+		return fmt.Errorf("nameserver: name %q already bound to segid %d", name, bound)
+	}
+	ns.names[name] = s
+	return nil
+}
+
+// Lookup resolves a published name to its segid.
+func (ns *NS) Lookup(name string) (xproto.Segid, bool) {
+	ns.Lookups++
+	s, ok := ns.names[name]
+	return s, ok
+}
+
+// Names lists published names, sorted (diagnostics).
+func (ns *NS) Names() []string {
+	out := make([]string, 0, len(ns.names))
+	for n := range ns.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LiveSegids reports the number of live segment registrations.
+func (ns *NS) LiveSegids() int { return len(ns.owners) }

@@ -1,0 +1,124 @@
+package nameserver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xemem/internal/xproto"
+)
+
+func TestEnclaveIDsUniqueAndSequential(t *testing.T) {
+	ns := New()
+	a, b := ns.AllocEnclaveID(), ns.AllocEnclaveID()
+	if a == b {
+		t.Fatal("duplicate enclave IDs")
+	}
+	if a == xproto.NameServerID || b == xproto.NameServerID {
+		t.Fatal("the NS's own ID must never be handed out")
+	}
+}
+
+func TestSegidLifecycle(t *testing.T) {
+	ns := New()
+	s, err := ns.AllocSegid(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == xproto.NoSegid {
+		t.Fatal("allocated NoSegid")
+	}
+	owner, ok := ns.Owner(s)
+	if !ok || owner != 2 {
+		t.Fatalf("owner = %d %v", owner, ok)
+	}
+	if err := ns.RemoveSegid(s, 3); err == nil {
+		t.Fatal("non-owner removal accepted")
+	}
+	if err := ns.RemoveSegid(s, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ns.Owner(s); ok {
+		t.Fatal("removed segid still has owner")
+	}
+	if err := ns.RemoveSegid(s, 2); err == nil {
+		t.Fatal("double removal accepted")
+	}
+}
+
+func TestAllocSegidRequiresIdentity(t *testing.T) {
+	ns := New()
+	if _, err := ns.AllocSegid(xproto.NoEnclave); err == nil {
+		t.Fatal("unidentified enclave allocated a segid")
+	}
+}
+
+func TestPublishLookup(t *testing.T) {
+	ns := New()
+	s, _ := ns.AllocSegid(4)
+	if err := ns.Publish("sim-output", s, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ns.Lookup("sim-output")
+	if !ok || got != s {
+		t.Fatalf("lookup = %d %v", got, ok)
+	}
+	if _, ok := ns.Lookup("absent"); ok {
+		t.Fatal("phantom name resolved")
+	}
+	// Re-publishing the same binding is idempotent.
+	if err := ns.Publish("sim-output", s, 4); err != nil {
+		t.Fatal(err)
+	}
+	// A different segid cannot steal the name.
+	s2, _ := ns.AllocSegid(4)
+	if err := ns.Publish("sim-output", s2, 4); err == nil {
+		t.Fatal("name stolen")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	ns := New()
+	s, _ := ns.AllocSegid(4)
+	if err := ns.Publish("", s, 4); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := ns.Publish("x", s, 5); err == nil {
+		t.Fatal("non-owner publish accepted")
+	}
+	if err := ns.Publish("x", s+999, 4); err == nil {
+		t.Fatal("unknown segid published")
+	}
+}
+
+func TestRemoveDropsNames(t *testing.T) {
+	ns := New()
+	s, _ := ns.AllocSegid(2)
+	ns.Publish("a", s, 2)
+	ns.Publish("b", s, 2)
+	if err := ns.RemoveSegid(s, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(ns.Names()) != 0 {
+		t.Fatalf("names survive removal: %v", ns.Names())
+	}
+}
+
+// Property: segids are unique across arbitrarily many allocations from
+// arbitrary enclaves — the core §3.1 guarantee.
+func TestSegidUniquenessProperty(t *testing.T) {
+	err := quick.Check(func(owners []uint8) bool {
+		ns := New()
+		seen := map[xproto.Segid]bool{}
+		for _, o := range owners {
+			s, err := ns.AllocSegid(xproto.EnclaveID(o) + 2)
+			if err != nil || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return ns.LiveSegids() == len(seen)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

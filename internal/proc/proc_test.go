@@ -1,0 +1,268 @@
+package proc
+
+import (
+	"bytes"
+	"testing"
+
+	"xemem/internal/extent"
+	"xemem/internal/mem"
+	"xemem/internal/pagetable"
+)
+
+func newAS(t *testing.T) (*AddressSpace, *mem.PhysMem, *mem.Zone) {
+	t.Helper()
+	pm := mem.NewPhysMem("node", 64<<20)
+	return NewAddressSpace(HostDomain{Mem: pm}, 0x7f00_0000_0000), pm, pm.Zone(0)
+}
+
+func TestEagerRegionReadWrite(t *testing.T) {
+	as, _, z := newAS(t)
+	backing, err := z.AllocScattered(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion("heap", 0, backing, pagetable.Read|pagetable.Write|pagetable.User, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Populated != 16 {
+		t.Fatalf("populated = %d", r.Populated)
+	}
+	msg := []byte("composed workloads share memory")
+	faults, err := as.Write(r.Base+100, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != 0 {
+		t.Fatalf("eager region faulted %d times", faults)
+	}
+	got := make([]byte, len(msg))
+	if _, err := as.Read(r.Base+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestLazyRegionFaults(t *testing.T) {
+	as, _, z := newAS(t)
+	backing, _ := z.AllocScattered(8, 2)
+	r, err := as.AddRegion("attach", 0, backing, pagetable.Read|pagetable.Write, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Populated != 0 {
+		t.Fatalf("lazy region pre-populated: %d", r.Populated)
+	}
+	// Write spanning pages 0..3 (5 bytes on page 0, all of 1 and 2, a few
+	// bytes of page 3): exactly 4 faults.
+	buf := make([]byte, 2*extent.PageSize+10)
+	faults, err := as.Write(r.Base+extent.PageSize-5, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != 4 {
+		t.Fatalf("faults = %d, want 4", faults)
+	}
+	// Re-access: no more faults.
+	faults, err = as.Read(r.Base+extent.PageSize, buf[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != 0 {
+		t.Fatalf("second access faulted %d", faults)
+	}
+	if r.Populated != 4 {
+		t.Fatalf("populated = %d", r.Populated)
+	}
+}
+
+func TestAccessOutsideRegionFails(t *testing.T) {
+	as, _, z := newAS(t)
+	backing, _ := z.AllocScattered(2, 2)
+	r, _ := as.AddRegion("r", 0, backing, pagetable.Read, true)
+	if _, err := as.Read(r.End()+5, make([]byte, 1)); err == nil {
+		t.Fatal("out-of-region read should fault fatally")
+	}
+}
+
+func TestRegionOverlapRejected(t *testing.T) {
+	as, _, z := newAS(t)
+	b1, _ := z.AllocScattered(4, 4)
+	b2, _ := z.AllocScattered(4, 4)
+	r, err := as.AddRegion("a", 0x10000, b1, pagetable.Read, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.AddRegion("b", r.Base+extent.PageSize, b2, pagetable.Read, false); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	// Adjacent is fine.
+	if _, err := as.AddRegion("c", r.End(), b2, pagetable.Read, false); err != nil {
+		t.Fatalf("adjacent region rejected: %v", err)
+	}
+}
+
+func TestReserveVANoOverlap(t *testing.T) {
+	as, _, z := newAS(t)
+	var regions []*Region
+	for i := 0; i < 10; i++ {
+		b, _ := z.AllocScattered(100, 16)
+		r, err := as.AddRegion("r", 0, b, pagetable.Read|pagetable.Write, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[i].Base < regions[j].End() && regions[j].Base < regions[i].End() {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestWalkExtentsServePath(t *testing.T) {
+	as, _, z := newAS(t)
+	backing, _ := z.AllocScattered(32, 8)
+	r, _ := as.AddRegion("export", 0, backing, pagetable.Read|pagetable.Write, true)
+
+	// Serve must populate lazy pages (get_user_pages semantics) and the
+	// walked list must match the backing list exactly.
+	got, faults, err := as.WalkExtents(r.Base, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != 32 {
+		t.Fatalf("faults = %d, want 32", faults)
+	}
+	if !got.Equal(backing) {
+		t.Fatalf("walked = %v, want %v", got, backing)
+	}
+	// Sub-range.
+	sub, _, err := as.WalkExtents(r.Base+4*extent.PageSize, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := backing.Slice(4, 8)
+	if !sub.Equal(want) {
+		t.Fatalf("sub walk = %v, want %v", sub, want)
+	}
+}
+
+func TestRemoveRegion(t *testing.T) {
+	as, _, z := newAS(t)
+	backing, _ := z.AllocScattered(8, 4)
+	r, _ := as.AddRegion("tmp", 0, backing, pagetable.Read, true)
+	// Touch half the pages.
+	if _, err := as.PopulateRange(r.Base, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.RemoveRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if as.FindRegion(r.Base) != nil {
+		t.Fatal("region still findable")
+	}
+	if _, err := as.Read(r.Base, make([]byte, 1)); err == nil {
+		t.Fatal("read after remove should fail")
+	}
+	if err := as.RemoveRegion(r); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if as.PageTable().Mapped() != 0 {
+		t.Fatalf("PTEs leaked: %d", as.PageTable().Mapped())
+	}
+}
+
+func TestCrossProcessSharing(t *testing.T) {
+	// Two address spaces over the same host memory with regions naming
+	// the same frames observe each other's writes — the essence of an
+	// XEMEM attachment.
+	pm := mem.NewPhysMem("node", 64<<20)
+	z := pm.Zone(0)
+	asA := NewAddressSpace(HostDomain{Mem: pm}, 0x7f00_0000_0000)
+	asB := NewAddressSpace(HostDomain{Mem: pm}, 0x7f00_0000_0000)
+
+	backing, _ := z.AllocContig(16)
+	list := extent.FromExtents(backing)
+	rA, err := asA.AddRegion("export", 0, list, pagetable.Read|pagetable.Write, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := list.Slice(2, 4)
+	rB, err := asB.AddRegion("attach", 0, sub, pagetable.Read|pagetable.Write, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := asA.Write(rA.Base+2*extent.PageSize, []byte("in situ data")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 12)
+	if _, err := asB.Read(rB.Base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "in situ data" {
+		t.Fatalf("attacher sees %q", got)
+	}
+
+	// And the reverse direction.
+	if _, err := asB.Write(rB.Base+10, []byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	if _, err := asA.Read(rA.Base+2*extent.PageSize+10, one); err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != '!' {
+		t.Fatalf("exporter sees %q", one)
+	}
+}
+
+func TestPermissionFaults(t *testing.T) {
+	as, _, z := newAS(t)
+	roBacking, _ := z.AllocScattered(4, 4)
+	ro, err := as.AddRegion("ro", 0, roBacking, pagetable.Read|pagetable.User, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads succeed; writes take a protection fault.
+	if _, err := as.Read(ro.Base, make([]byte, 8)); err != nil {
+		t.Fatalf("read of read-only region failed: %v", err)
+	}
+	if _, err := as.Write(ro.Base, []byte("x")); err == nil {
+		t.Fatal("write through read-only mapping succeeded")
+	}
+	// A write-only region rejects reads.
+	woBacking, _ := z.AllocScattered(4, 4)
+	wo, err := as.AddRegion("wo", 0, woBacking, pagetable.Write|pagetable.User, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Write(wo.Base, []byte("x")); err != nil {
+		t.Fatalf("write to write-only region failed: %v", err)
+	}
+	if _, err := as.Read(wo.Base, make([]byte, 1)); err == nil {
+		t.Fatal("read through write-only mapping succeeded")
+	}
+}
+
+func TestFindRegion(t *testing.T) {
+	as, _, z := newAS(t)
+	b1, _ := z.AllocScattered(4, 4)
+	b2, _ := z.AllocScattered(4, 4)
+	r1, _ := as.AddRegion("low", 0x10000, b1, pagetable.Read, false)
+	r2, _ := as.AddRegion("high", 0x40000, b2, pagetable.Read, false)
+	if as.FindRegion(r1.Base+5) != r1 {
+		t.Fatal("FindRegion missed low")
+	}
+	if as.FindRegion(r2.Base) != r2 {
+		t.Fatal("FindRegion missed high")
+	}
+	if as.FindRegion(r1.End()) != nil {
+		t.Fatal("gap address matched a region")
+	}
+}

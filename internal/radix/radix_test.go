@@ -1,0 +1,141 @@
+package radix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookupDelete(t *testing.T) {
+	m := New()
+	if _, err := m.Insert(0x12345, 0x999); err != nil {
+		t.Fatal(err)
+	}
+	h, _, ok := m.Lookup(0x12345)
+	if !ok || h != 0x999 {
+		t.Fatalf("lookup = %#x ok=%v", h, ok)
+	}
+	if _, _, ok := m.Lookup(0x12346); ok {
+		t.Fatal("unmapped frame resolved")
+	}
+	if m.Size() != 1 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	if _, err := m.Delete(0x12345); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := m.Lookup(0x12345); ok {
+		t.Fatal("deleted frame resolves")
+	}
+	if m.Size() != 0 {
+		t.Fatalf("size = %d", m.Size())
+	}
+}
+
+func TestDoubleInsertRejected(t *testing.T) {
+	m := New()
+	m.Insert(5, 10)
+	if _, err := m.Insert(5, 11); err == nil {
+		t.Fatal("double insert accepted")
+	}
+}
+
+func TestDeleteMissingRejected(t *testing.T) {
+	m := New()
+	if _, err := m.Delete(42); err != nil {
+		// good: missing frame with no interior path
+	} else {
+		t.Fatal("delete of missing frame accepted")
+	}
+	m.Insert(42, 1)
+	if _, err := m.Delete(43); err == nil {
+		t.Fatal("delete of sibling frame accepted")
+	}
+}
+
+func TestZeroHostFrameRepresentable(t *testing.T) {
+	// Host frame 0 must round-trip (it is stored biased internally).
+	m := New()
+	if _, err := m.Insert(7, 0); err != nil {
+		t.Fatal(err)
+	}
+	h, _, ok := m.Lookup(7)
+	if !ok || h != 0 {
+		t.Fatalf("lookup = %d ok=%v", h, ok)
+	}
+}
+
+func TestConstantDepth(t *testing.T) {
+	// The whole point of the radix map: visits do not grow with size.
+	m := New()
+	first, _ := m.Insert(0, 0)
+	for i := uint64(1); i < 100000; i++ {
+		m.Insert(i, i)
+	}
+	last, err := m.Insert(1<<35, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Visits != last.Visits {
+		t.Fatalf("visits changed with size: %d vs %d", first.Visits, last.Visits)
+	}
+	if last.Visits != 4 {
+		t.Fatalf("visits = %d, want 4 levels", last.Visits)
+	}
+}
+
+func TestPruneOnDelete(t *testing.T) {
+	m := New()
+	m.Insert(1<<30, 5)
+	if _, err := m.Delete(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	// The interior path should be pruned: a fresh lookup must stop early.
+	_, st, ok := m.Lookup(1 << 30)
+	if ok {
+		t.Fatal("deleted frame resolves")
+	}
+	if st.Visits >= 4 {
+		t.Fatalf("interior nodes not pruned: lookup visited %d", st.Visits)
+	}
+}
+
+// Property: radix map behaves exactly like a Go map under arbitrary
+// insert/delete/lookup interleavings.
+func TestRadixMatchesMapProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(ops []uint32) bool {
+		m := New()
+		ref := map[uint64]uint64{}
+		for _, op := range ops {
+			g := uint64(op % 4099)
+			switch op % 3 {
+			case 0:
+				_, err := m.Insert(g, uint64(op))
+				_, exists := ref[g]
+				if exists != (err != nil) {
+					return false
+				}
+				if err == nil {
+					ref[g] = uint64(op)
+				}
+			case 1:
+				_, err := m.Delete(g)
+				_, exists := ref[g]
+				if exists != (err == nil) {
+					return false
+				}
+				delete(ref, g)
+			case 2:
+				h, _, ok := m.Lookup(g)
+				want, exists := ref[g]
+				if ok != exists || (ok && h != want) {
+					return false
+				}
+			}
+		}
+		return m.Size() == len(ref)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

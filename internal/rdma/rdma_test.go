@@ -1,0 +1,98 @@
+package rdma
+
+import (
+	"testing"
+
+	"xemem/internal/sim"
+)
+
+func TestBandwidthApproachesLine(t *testing.T) {
+	w := sim.NewWorld(1)
+	costs := sim.DefaultCosts()
+	dev := NewDevice("ib0", costs)
+	vf := dev.NewVF("vf0")
+	var bw float64
+	w.Spawn("tester", func(a *sim.Actor) {
+		got, err := vf.BandwidthTest(a, 128<<20, 20)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		bw = got
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Large transfers approach but never exceed the configured line rate.
+	if bw > costs.RDMABandwidth {
+		t.Fatalf("measured %.3g B/s exceeds line rate %.3g", bw, costs.RDMABandwidth)
+	}
+	if bw < 0.8*costs.RDMABandwidth {
+		t.Fatalf("measured %.3g B/s, far below line rate %.3g", bw, costs.RDMABandwidth)
+	}
+}
+
+func TestSmallTransfersOverheadBound(t *testing.T) {
+	w := sim.NewWorld(1)
+	costs := sim.DefaultCosts()
+	dev := NewDevice("ib0", costs)
+	vf := dev.NewVF("vf0")
+	var small, large float64
+	w.Spawn("tester", func(a *sim.Actor) {
+		s, err := vf.BandwidthTest(a, 4096, 100)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		small = s
+		l, err := vf.BandwidthTest(a, 64<<20, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		large = l
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if small >= large {
+		t.Fatalf("small transfers (%.3g) should be overhead-bound below large (%.3g)", small, large)
+	}
+}
+
+func TestSharedWireSerializes(t *testing.T) {
+	w := sim.NewWorld(1)
+	costs := sim.DefaultCosts()
+	dev := NewDevice("ib0", costs)
+	vfA, vfB := dev.NewVF("a"), dev.NewVF("b")
+	var aBW, bBW float64
+	w.Spawn("a", func(a *sim.Actor) {
+		got, _ := vfA.BandwidthTest(a, 32<<20, 20)
+		aBW = got
+	})
+	w.Spawn("b", func(a *sim.Actor) {
+		got, _ := vfB.BandwidthTest(a, 32<<20, 20)
+		bBW = got
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two VFs share the device: each gets roughly half the line rate.
+	if aBW > 0.65*costs.RDMABandwidth || bBW > 0.65*costs.RDMABandwidth {
+		t.Fatalf("contending VFs exceeded fair share: %.3g / %.3g", aBW, bBW)
+	}
+}
+
+func TestInvalidWrite(t *testing.T) {
+	w := sim.NewWorld(1)
+	dev := NewDevice("ib0", sim.DefaultCosts())
+	vf := dev.NewVF("vf0")
+	w.Spawn("tester", func(a *sim.Actor) {
+		if err := vf.Write(a, 0); err == nil {
+			t.Error("zero-byte write accepted")
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// World owns a set of actors and dispatches them in virtual-time order.
+// Create one with NewWorld, add actors with Spawn (before or during Run),
+// and call Run to execute the simulation to completion.
+//
+// A World is not safe for concurrent use from multiple host goroutines;
+// actors themselves never need synchronization because the scheduler
+// guarantees mutual exclusion.
+type World struct {
+	actors  []*Actor
+	yield   chan *Actor // actors hand control back to the scheduler here
+	now     Time
+	running bool
+	seed    uint64
+	nextRNG uint64
+	stopped bool
+
+	// Trace, if non-nil, receives a line per scheduling decision. Used by
+	// tests; nil in normal runs.
+	Trace func(format string, args ...any)
+}
+
+// NewWorld returns an empty world whose RNG streams derive from seed.
+func NewWorld(seed uint64) *World {
+	return &World{
+		yield: make(chan *Actor),
+		seed:  seed,
+	}
+}
+
+// Now reports the current global virtual time: the clock of the most
+// recently dispatched actor.
+func (w *World) Now() Time { return w.now }
+
+// NewRNG returns a fresh deterministic RNG stream. Streams created in the
+// same order across runs produce identical sequences.
+func (w *World) NewRNG() *RNG {
+	w.nextRNG++
+	return NewRNG(w.seed ^ (w.nextRNG * 0x9e3779b97f4a7c15))
+}
+
+// Spawn creates an actor named name running fn. If called from within a
+// running actor, the child starts at the caller's current time; otherwise
+// it starts at time zero. Daemon actors (see Actor.SetDaemon) do not keep
+// the world alive.
+func (w *World) Spawn(name string, fn func(*Actor)) *Actor {
+	a := &Actor{
+		id:     len(w.actors),
+		name:   name,
+		w:      w,
+		state:  ready,
+		resume: make(chan struct{}),
+	}
+	w.actors = append(w.actors, a)
+	go a.run(fn)
+	return a
+}
+
+// SpawnAt is Spawn with an explicit start time. It is mainly useful for
+// staggering workload arrivals before Run begins.
+func (w *World) SpawnAt(name string, start Time, fn func(*Actor)) *Actor {
+	a := w.Spawn(name, fn)
+	a.now = start
+	return a
+}
+
+// ErrDeadlock is returned (wrapped) by Run when non-daemon actors remain
+// blocked with no runnable actor to wake them.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// Run executes the simulation until every non-daemon actor has finished.
+// Remaining daemon actors are then terminated. Run reports a deadlock if
+// no actor is runnable while non-daemon actors are still blocked.
+func (w *World) Run() error {
+	if w.running {
+		return errors.New("sim: world already running")
+	}
+	w.running = true
+	defer func() { w.running = false }()
+
+	for {
+		if !w.nonDaemonAlive() {
+			w.killAll()
+			return nil
+		}
+		next := w.pickNext()
+		if next == nil {
+			if blocked := w.blockedNonDaemons(); len(blocked) > 0 {
+				w.killAll()
+				return fmt.Errorf("%w: %d actor(s) blocked forever: %v",
+					ErrDeadlock, len(blocked), blocked)
+			}
+			w.killAll()
+			return nil
+		}
+		if next.now > w.now {
+			w.now = next.now
+		}
+		if w.Trace != nil {
+			w.Trace("t=%v run %s", w.now, next.name)
+		}
+		next.resume <- struct{}{}
+		<-w.yield
+	}
+}
+
+// pickNext returns the ready actor with the minimal (time, id), or nil.
+func (w *World) pickNext() *Actor {
+	var best *Actor
+	for _, a := range w.actors {
+		if a.state != ready {
+			continue
+		}
+		if best == nil || a.now < best.now || (a.now == best.now && a.id < best.id) {
+			best = a
+		}
+	}
+	return best
+}
+
+// nonDaemonAlive reports whether any non-daemon actor has not finished.
+func (w *World) nonDaemonAlive() bool {
+	for _, a := range w.actors {
+		if !a.daemon && a.state != done && a.state != killed {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *World) blockedNonDaemons() []string {
+	var names []string
+	for _, a := range w.actors {
+		if a.state == blocked && !a.daemon {
+			names = append(names, fmt.Sprintf("%s(%s)", a.name, a.blockReason))
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// killAll terminates every actor that has not finished, including daemons
+// blocked on message loops, so their goroutines do not leak.
+func (w *World) killAll() {
+	for _, a := range w.actors {
+		if a.state == done || a.state == killed {
+			continue
+		}
+		a.state = killed
+		a.resume <- struct{}{}
+		<-w.yield
+	}
+}

@@ -1,0 +1,161 @@
+package smartmap
+
+import (
+	"testing"
+
+	"xemem/internal/extent"
+	"xemem/internal/mem"
+	"xemem/internal/pagetable"
+	"xemem/internal/proc"
+)
+
+func mkProc(t *testing.T, pm *mem.PhysMem, pages uint64) (*proc.AddressSpace, *proc.Region) {
+	t.Helper()
+	as := proc.NewAddressSpace(proc.HostDomain{Mem: pm}, 0x10_0000_0000)
+	backing, err := pm.Zone(0).AllocContig(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion("heap", 0, extent.FromExtents(backing), pagetable.Read|pagetable.Write|pagetable.User, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, r
+}
+
+func TestWindowZeroCopy(t *testing.T) {
+	pm := mem.NewPhysMem("node", 64<<20)
+	src, srcRegion := mkProc(t, pm, 16)
+	dst, _ := mkProc(t, pm, 4)
+
+	s := New()
+	if _, err := s.Register(src.PageTable()); err != nil {
+		t.Fatal(err)
+	}
+	win, err := s.Attach(dst.PageTable(), src.PageTable(), srcRegion.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Source writes; the borrower reads the same bytes through the window
+	// with zero copies — translations resolve through the shared subtree.
+	if _, err := src.Write(srcRegion.Base+123, []byte("smartmap")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := dst.Read(win+123, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "smartmap" {
+		t.Fatalf("window read = %q", got)
+	}
+
+	// Writes made by the source AFTER attachment are visible: live view.
+	if _, err := src.Write(srcRegion.Base+4096, []byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	got5 := make([]byte, 5)
+	if _, err := dst.Read(win+4096, got5); err != nil {
+		t.Fatal(err)
+	}
+	if string(got5) != "later" {
+		t.Fatalf("live view read = %q", got5)
+	}
+}
+
+func TestWindowAddressMath(t *testing.T) {
+	va, err := Window(3, 0x1234000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va != pagetable.VA(3<<39|0x1234000) {
+		t.Fatalf("window = %#x", uint64(va))
+	}
+	if _, err := Window(1, pagetable.SlotBase(2)); err == nil {
+		t.Fatal("address outside slot 0 accepted")
+	}
+}
+
+func TestBorrowerCannotMutateWindow(t *testing.T) {
+	pm := mem.NewPhysMem("node", 64<<20)
+	src, srcRegion := mkProc(t, pm, 8)
+	dst, _ := mkProc(t, pm, 4)
+	s := New()
+	s.Register(src.PageTable())
+	win, err := s.Attach(dst.PageTable(), src.PageTable(), srcRegion.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.PageTable().Unmap(win, 1); err == nil {
+		t.Fatal("borrower unmapped through a shared slot")
+	}
+	if err := dst.PageTable().Map(win+8*4096, 0x200, pagetable.Read); err == nil {
+		t.Fatal("borrower mapped into a shared slot")
+	}
+}
+
+func TestRefCountedDetach(t *testing.T) {
+	pm := mem.NewPhysMem("node", 64<<20)
+	src, srcRegion := mkProc(t, pm, 8)
+	dst, _ := mkProc(t, pm, 4)
+	s := New()
+	s.Register(src.PageTable())
+
+	w1, err := s.Attach(dst.PageTable(), src.PageTable(), srcRegion.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.Attach(dst.PageTable(), src.PageTable(), srcRegion.Base+4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Detach(dst.PageTable(), w1); err != nil {
+		t.Fatal(err)
+	}
+	// Second window still translates.
+	if _, _, _, ok := dst.PageTable().Walk(w2); !ok {
+		t.Fatal("window died while a reference remained")
+	}
+	if err := s.Detach(dst.PageTable(), w2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := dst.PageTable().Walk(w2); ok {
+		t.Fatal("window survives final detach")
+	}
+	if err := s.Detach(dst.PageTable(), w2); err == nil {
+		t.Fatal("detach of detached window accepted")
+	}
+}
+
+func TestUnregisteredSourceRejected(t *testing.T) {
+	pm := mem.NewPhysMem("node", 64<<20)
+	src, srcRegion := mkProc(t, pm, 4)
+	dst, _ := mkProc(t, pm, 4)
+	s := New()
+	if _, err := s.Attach(dst.PageTable(), src.PageTable(), srcRegion.Base); err == nil {
+		t.Fatal("attach to unregistered source accepted")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	pm := mem.NewPhysMem("node", 64<<20)
+	src, _ := mkProc(t, pm, 4)
+	s := New()
+	r1, _ := s.Register(src.PageTable())
+	r2, _ := s.Register(src.PageTable())
+	if r1 != r2 {
+		t.Fatalf("ranks differ: %d vs %d", r1, r2)
+	}
+}
+
+func TestRankExhaustion(t *testing.T) {
+	s := New()
+	for i := 0; i < 511; i++ {
+		if _, err := s.Register(pagetable.New()); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+	}
+	if _, err := s.Register(pagetable.New()); err == nil {
+		t.Fatal("512th registration accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Package xpmem is the user-level, XPMEM-backwards-compatible API of
+// Table 1 (§4.1). A Session binds one process to its enclave's XEMEM
+// module; the six operations mirror the SGI/Cray XPMEM interface —
+// xpmem_make, xpmem_remove, xpmem_get, xpmem_release, xpmem_attach,
+// xpmem_detach — so applications written against XPMEM need no knowledge
+// of enclave topology or cross-enclave channels (§3).
+//
+// The one extension beyond XPMEM is name-based discovery (Lookup), which
+// substitutes for the filesystem IPC a single-OS system would use to pass
+// segids between processes (§3.1).
+package xpmem
+
+import (
+	"xemem/internal/core"
+	"xemem/internal/pagetable"
+	"xemem/internal/proc"
+	"xemem/internal/sim"
+	"xemem/internal/xproto"
+)
+
+// Re-exported identifier types, matching the XPMEM API's vocabulary.
+type (
+	// Segid names an exported segment, globally unique system-wide.
+	Segid = xproto.Segid
+	// Apid is an access permit returned by Get.
+	Apid = xproto.Apid
+	// Perm is a permission mask.
+	Perm = xproto.Perm
+)
+
+// Permission bits.
+const (
+	PermRead  = xproto.PermRead
+	PermWrite = xproto.PermWrite
+)
+
+// AttachAll, passed as the byte count to Attach, maps the entire segment
+// from the given offset (the xpmem_attach whole-segment convention).
+const AttachAll = core.AttachAll
+
+// Session is one process's handle onto its enclave's XEMEM service (the
+// analogue of an open /dev/xpmem descriptor).
+type Session struct {
+	mod *core.Module
+	p   *proc.Process
+}
+
+// NewSession binds process p to its enclave module.
+func NewSession(mod *core.Module, p *proc.Process) *Session {
+	return &Session{mod: mod, p: p}
+}
+
+// Process returns the bound process.
+func (s *Session) Process() *proc.Process { return s.p }
+
+// Module returns the enclave module (diagnostics).
+func (s *Session) Module() *core.Module { return s.mod }
+
+// Make exports [va, va+bytes) as shared memory and returns its segid
+// (xpmem_make). If name is non-empty the segment is discoverable via
+// Lookup from any enclave.
+func (s *Session) Make(a *sim.Actor, va pagetable.VA, bytes uint64, perm Perm, name string) (Segid, error) {
+	return s.mod.Make(a, s.p, va, bytes, perm, name)
+}
+
+// Remove retires an exported segment (xpmem_remove).
+func (s *Session) Remove(a *sim.Actor, segid Segid) error {
+	return s.mod.Remove(a, s.p, segid)
+}
+
+// Get requests access to a segment and returns a permission grant
+// (xpmem_get).
+func (s *Session) Get(a *sim.Actor, segid Segid, perm Perm) (Apid, error) {
+	return s.mod.Get(a, s.p, segid, perm)
+}
+
+// Release drops a permission grant (xpmem_release).
+func (s *Session) Release(a *sim.Actor, segid Segid, apid Apid) error {
+	return s.mod.Release(a, s.p, segid, apid)
+}
+
+// Attach maps bytes of the segment at the given byte offset into the
+// process and returns the new virtual address (xpmem_attach).
+func (s *Session) Attach(a *sim.Actor, segid Segid, apid Apid, offset, bytes uint64, perm Perm) (pagetable.VA, error) {
+	return s.mod.Attach(a, s.p, segid, apid, offset, bytes, perm)
+}
+
+// Detach unmaps an attachment by any address within it (xpmem_detach).
+func (s *Session) Detach(a *sim.Actor, va pagetable.VA) error {
+	return s.mod.Detach(a, s.p, va)
+}
+
+// Lookup resolves a published segment name (discoverability, §3.1).
+func (s *Session) Lookup(a *sim.Actor, name string) (Segid, error) {
+	return s.mod.Lookup(a, name)
+}
+
+// Read copies memory out of the process's address space (helper for
+// applications built on the API).
+func (s *Session) Read(va pagetable.VA, buf []byte) (int, error) {
+	return s.p.AS.Read(va, buf)
+}
+
+// Write copies memory into the process's address space.
+func (s *Session) Write(va pagetable.VA, data []byte) (int, error) {
+	return s.p.AS.Write(va, data)
+}

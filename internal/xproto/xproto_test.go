@@ -1,0 +1,172 @@
+package xproto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xemem/internal/extent"
+	"xemem/internal/sim"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:   MsgAttachResp,
+		Status: StatusOK,
+		Src:    7,
+		Dst:    2,
+		ReqID:  0xdeadbeef,
+		Segid:  1234,
+		Apid:   99,
+		Offset: 4096,
+		Pages:  262144,
+		Perm:   PermRead | PermWrite,
+		Value:  42,
+		Name:   "hpccg-output",
+		List:   extent.FromExtents(extent.Extent{First: 0x100, Count: 262144}),
+	}
+	buf := m.Encode()
+	if len(buf) != m.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize %d", len(buf), m.EncodedSize())
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.Status != m.Status || got.Src != m.Src ||
+		got.Dst != m.Dst || got.ReqID != m.ReqID || got.Segid != m.Segid ||
+		got.Apid != m.Apid || got.Offset != m.Offset || got.Pages != m.Pages ||
+		got.Perm != m.Perm || got.Value != m.Value || got.Name != m.Name {
+		t.Fatalf("header mismatch: %+v vs %+v", got, m)
+	}
+	if !got.List.Equal(m.List) {
+		t.Fatalf("list mismatch")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	m := &Message{Type: MsgGetReq, Name: "x", List: extent.FromExtents(extent.Extent{First: 1, Count: 1})}
+	buf := m.Encode()
+	for i := 0; i < len(buf); i++ {
+		if _, err := Decode(buf[:i]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", i, len(buf))
+		}
+	}
+	// Trailing garbage also rejected.
+	if _, err := Decode(append(buf, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	err := quick.Check(func(ty, st uint8, src, dst uint32, reqid, segid, apid, off, pages, val uint64, name string) bool {
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		m := &Message{
+			Type: MsgType(ty), Status: Status(st),
+			Src: EnclaveID(src), Dst: EnclaveID(dst),
+			ReqID: reqid, Segid: Segid(segid), Apid: Apid(apid),
+			Offset: off, Pages: pages, Value: val, Name: name,
+		}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		same := got.Type == m.Type && got.Status == m.Status &&
+			got.Src == m.Src && got.Dst == m.Dst && got.ReqID == m.ReqID &&
+			got.Segid == m.Segid && got.Apid == m.Apid && got.Offset == m.Offset &&
+			got.Pages == m.Pages && got.Value == m.Value && got.Name == m.Name
+		return same && got.List.Pages() == 0
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	if MsgAttachReq.String() != "attach-req" {
+		t.Fatalf("got %q", MsgAttachReq.String())
+	}
+	if MsgType(200).String() != "msg(200)" {
+		t.Fatalf("got %q", MsgType(200).String())
+	}
+	if !MsgAttachResp.IsResponse() || MsgAttachReq.IsResponse() {
+		t.Fatal("IsResponse misclassifies")
+	}
+	if StatusNotFound.String() != "not-found" {
+		t.Fatalf("status string %q", StatusNotFound)
+	}
+}
+
+// fakeLink delivers directly into an inbox with no cost.
+type fakeLink struct {
+	in   *Inbox
+	name string
+}
+
+func (f *fakeLink) Send(a *sim.Actor, m *Message) { f.in.Put(a, m.Encode(), f) }
+func (f *fakeLink) String() string                { return f.name }
+
+func TestInboxBlockingDelivery(t *testing.T) {
+	w := sim.NewWorld(1)
+	in := NewInbox("test")
+	link := &fakeLink{in: in, name: "l"}
+	var got *Message
+	var when sim.Time
+	w.Spawn("kernel", func(a *sim.Actor) {
+		d := in.Get(a)
+		m, err := Decode(d.Buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = m
+		when = a.Now()
+		if d.Via != link {
+			t.Error("wrong arrival link")
+		}
+	})
+	w.Spawn("sender", func(a *sim.Actor) {
+		a.Advance(250)
+		link.Send(a, &Message{Type: MsgPingNS, ReqID: 5})
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.ReqID != 5 {
+		t.Fatalf("got %+v", got)
+	}
+	if when != 250 {
+		t.Fatalf("delivered at %v, want 250", when)
+	}
+}
+
+func TestInboxQueuesMultiple(t *testing.T) {
+	w := sim.NewWorld(1)
+	in := NewInbox("q")
+	link := &fakeLink{in: in}
+	var order []uint64
+	w.Spawn("sender", func(a *sim.Actor) {
+		for i := uint64(1); i <= 3; i++ {
+			link.Send(a, &Message{ReqID: i})
+			a.Advance(1)
+		}
+	})
+	w.Spawn("kernel", func(a *sim.Actor) {
+		a.Advance(100) // let them queue
+		for i := 0; i < 3; i++ {
+			m, err := Decode(in.Get(a).Buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order = append(order, m.ReqID)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
