@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build race test bench
+
+# check runs everything CI needs: static analysis, a full build, the
+# race-sensitive engine and cache suites, and the tier-1 test suite.
+check: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# The scheduler's direct actor-to-actor handoff and the frame-list cache
+# are the concurrency-sensitive parts: run their packages under the race
+# detector explicitly.
+race:
+	$(GO) test -race ./internal/sim ./internal/xpmem
+
+test:
+	$(GO) test ./...
+
+# Engine fast-path benchmark: writes BENCH_engine.json.
+bench:
+	$(GO) run ./cmd/xemem-bench -json

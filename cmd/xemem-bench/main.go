@@ -24,7 +24,19 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment to run: fig5, fig6, fig7, fig8, fig9, table2, all")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	fast := flag.Bool("fast", false, "reduced repetition counts for quick runs")
+	jsonOut := flag.Bool("json", false, "run the engine benchmark and write BENCH_engine.json (host wall-clock of the fast paths vs their reference implementations)")
 	flag.Parse()
+
+	if *jsonOut {
+		res, err := experiments.EngineBench(*seed, "BENCH_engine.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "engine bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Println("wrote BENCH_engine.json")
+		return
+	}
 
 	reps5, reps6, t2reps, runs8, runs9 := 500, 500, 20, 10, 5
 	if *fast {

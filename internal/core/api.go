@@ -197,6 +197,7 @@ func (m *Module) Remove(a *sim.Actor, p *proc.Process, segid xproto.Segid) error
 		return ErrDenied
 	}
 	seg.Removed = true
+	m.invalidateFrameCache(segid)
 	if m.NS != nil {
 		a.Advance(m.c.NSOp)
 		return m.NS.RemoveSegid(segid, m.R.Self())

@@ -46,6 +46,12 @@ type OS interface {
 	// pinning/populating as required.
 	WalkForExport(a *sim.Actor, as *proc.AddressSpace, va pagetable.VA, pages uint64) (extent.List, error)
 
+	// ExportWalkCost charges exactly what a repeat WalkForExport over
+	// pages already-populated pages would charge, without doing the
+	// host-side walk. The module's frame-list cache calls it on a hit so
+	// cached serves keep simulated time bit-identical to re-walking.
+	ExportWalkCost(a *sim.Actor, pages uint64)
+
 	// MapRemote maps a frame list received from a remote enclave into the
 	// process and returns the new region. The list is already in this
 	// kernel's physical domain (cross-domain translation happens in the
@@ -114,6 +120,22 @@ type Stats struct {
 	AttachesMade    int
 	DecodeErrors    int
 	DroppedMessages int
+	// FrameCache counts serve-side frame-list cache traffic.
+	FrameCache sim.CacheStats
+}
+
+// frameKey identifies one attach window of a segment in the serve-side
+// frame-list cache.
+type frameKey struct {
+	offPages uint64
+	pages    uint64
+}
+
+// frameEntry is a memoized serve: the exported frame list and its host
+// translation, exactly as the walk produced them.
+type frameEntry struct {
+	list extent.List
+	host extent.List
 }
 
 type pendingReq struct {
@@ -145,6 +167,13 @@ type Module struct {
 	nextReq     uint64
 	nextApid    xproto.Apid
 
+	// frameCache memoizes serve-side walks per segment: repeat attaches of
+	// the same window reuse the frame list instead of re-walking the
+	// exporter's page tables. Entries are dropped when a remote attachment
+	// detaches or the segment is removed — the two events after which the
+	// exporter's pins or the segment itself may change.
+	frameCache map[xproto.Segid]map[frameKey]frameEntry
+
 	Stats Stats
 
 	// Trace, when non-nil, observes every message this module sends
@@ -171,6 +200,7 @@ func New(name string, w *sim.World, costs *sim.Costs, os OS, hostNS bool) *Modul
 		segs:        make(map[xproto.Segid]*Segment),
 		attachments: make(map[*proc.Region]*Attachment),
 		pending:     make(map[uint64]*pendingReq),
+		frameCache:  make(map[xproto.Segid]map[frameKey]frameEntry),
 		nextReq:     w.NewRNG().Uint64(), // per-module base avoids cross-enclave ReqID collisions
 	}
 	if hostNS {
@@ -182,6 +212,19 @@ func New(name string, w *sim.World, costs *sim.Costs, os OS, hostNS bool) *Modul
 
 // Name reports the module's diagnostic name.
 func (m *Module) Name() string { return m.name }
+
+// FrameCacheStats reports the serve-side frame-list cache counters.
+func (m *Module) FrameCacheStats() sim.CacheStats { return m.Stats.FrameCache }
+
+// invalidateFrameCache drops every cached frame list of segid.
+func (m *Module) invalidateFrameCache(segid xproto.Segid) {
+	if ents, ok := m.frameCache[segid]; ok {
+		if len(ents) > 0 {
+			m.Stats.FrameCache.Invalidations++
+		}
+		delete(m.frameCache, segid)
+	}
+}
 
 // Costs exposes the cost model (used by channel implementations).
 func (m *Module) Costs() *sim.Costs { return m.c }

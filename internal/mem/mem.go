@@ -121,28 +121,41 @@ func (m *PhysMem) access(l extent.List, off uint64, p []byte, write bool) error 
 	if off+uint64(len(p)) > l.Bytes() {
 		return fmt.Errorf("mem: access [%d,+%d) beyond %d-byte region", off, len(p), l.Bytes())
 	}
-	for len(p) > 0 {
-		page := off / PageSize
+	// Iterate the extent runs directly rather than resolving every page
+	// through l.Page (which scans the extents from the start each call and
+	// made large copies O(pages × extents)). Frames are still touched one at
+	// a time because each materializes its own 4 KB backing array.
+	for _, e := range l.Extents() {
+		if len(p) == 0 {
+			break
+		}
+		eb := e.Count * PageSize
+		if off >= eb {
+			off -= eb
+			continue
+		}
+		f := e.First + PFN(off/PageSize)
 		inPage := off % PageSize
-		f, err := l.Page(page)
-		if err != nil {
-			return err
-		}
-		n := PageSize - inPage
-		if n > uint64(len(p)) {
-			n = uint64(len(p))
-		}
-		if write {
-			copy(m.Frame(f)[inPage:inPage+n], p[:n])
-		} else if m.Materialized(f) {
-			copy(p[:n], m.Frame(f)[inPage:inPage+n])
-		} else {
-			for i := range p[:n] {
-				p[i] = 0
+		end := e.First + PFN(e.Count)
+		for len(p) > 0 && f < end {
+			n := PageSize - inPage
+			if n > uint64(len(p)) {
+				n = uint64(len(p))
 			}
+			if write {
+				copy(m.Frame(f)[inPage:inPage+n], p[:n])
+			} else if m.Materialized(f) {
+				copy(p[:n], m.Frame(f)[inPage:inPage+n])
+			} else {
+				for i := range p[:n] {
+					p[i] = 0
+				}
+			}
+			p = p[n:]
+			inPage = 0
+			f++
 		}
-		p = p[n:]
-		off += n
+		off = 0
 	}
 	return nil
 }

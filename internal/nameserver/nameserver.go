@@ -23,6 +23,10 @@ type NS struct {
 	nextSegid   xproto.Segid
 	owners      map[xproto.Segid]xproto.EnclaveID
 	names       map[string]xproto.Segid
+	// nameOf is the reverse index of names, so retiring a segid drops its
+	// bindings without scanning the whole registry. A segid can carry
+	// several names (publish is idempotent per name, first-come).
+	nameOf map[xproto.Segid][]string
 
 	// Counters for the scalability analysis.
 	EnclaveAllocs int
@@ -40,6 +44,7 @@ func New() *NS {
 		nextSegid:   0x1000,
 		owners:      make(map[xproto.Segid]xproto.EnclaveID),
 		names:       make(map[string]xproto.Segid),
+		nameOf:      make(map[xproto.Segid][]string),
 	}
 }
 
@@ -81,11 +86,10 @@ func (ns *NS) RemoveSegid(s xproto.Segid, requester xproto.EnclaveID) error {
 		return fmt.Errorf("nameserver: enclave %d cannot remove segid %d owned by %d", requester, s, owner)
 	}
 	delete(ns.owners, s)
-	for name, bound := range ns.names {
-		if bound == s {
-			delete(ns.names, name)
-		}
+	for _, name := range ns.nameOf[s] {
+		delete(ns.names, name)
 	}
+	delete(ns.nameOf, s)
 	return nil
 }
 
@@ -103,10 +107,14 @@ func (ns *NS) Publish(name string, s xproto.Segid, requester xproto.EnclaveID) e
 	if owner != requester {
 		return fmt.Errorf("nameserver: enclave %d cannot publish segid %d owned by %d", requester, s, owner)
 	}
-	if bound, taken := ns.names[name]; taken && bound != s {
-		return fmt.Errorf("nameserver: name %q already bound to segid %d", name, bound)
+	if bound, taken := ns.names[name]; taken {
+		if bound != s {
+			return fmt.Errorf("nameserver: name %q already bound to segid %d", name, bound)
+		}
+		return nil // re-publish of the same binding: already indexed
 	}
 	ns.names[name] = s
+	ns.nameOf[s] = append(ns.nameOf[s], name)
 	return nil
 }
 

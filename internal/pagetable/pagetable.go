@@ -169,6 +169,101 @@ func (t *Table) Map(va VA, f extent.PFN, flags Flags) error {
 	return t.set(va, 0, f, flags)
 }
 
+// MapRun maps count 4 KB pages starting at va to the physically
+// contiguous frames starting at f, always with 4 KB leaves. It is
+// equivalent to count successive Map calls — the demand-fault install
+// path uses it to batch-populate runs — but descends the radix tree once
+// per PT node (512 entries) instead of once per page. Like a sequence of
+// Map calls, it fails on the first already-mapped page, leaving earlier
+// pages of the run mapped.
+func (t *Table) MapRun(va VA, f extent.PFN, count uint64, flags Flags) error {
+	if va.Offset() != 0 {
+		return fmt.Errorf("pagetable: unaligned map at %#x", uint64(va))
+	}
+	for count > 0 {
+		if err := t.guardShared(va, "map"); err != nil {
+			return err
+		}
+		node := t.root
+		for level := 3; level > 0; level-- {
+			i := index(va, level)
+			e := node.ents[i]
+			if e&entPresent == 0 {
+				child := &table{}
+				t.tables++
+				node.setChild(i, child)
+				node.ents[i] = entPresent
+				node.used++
+				node = child
+				continue
+			}
+			if e&entLeaf != 0 {
+				return fmt.Errorf("pagetable: %#x already mapped by a level-%d leaf", uint64(va), level)
+			}
+			node = node.child(i)
+		}
+		i := index(va, 0)
+		n := uint64(512 - i)
+		if n > count {
+			n = count
+		}
+		for j := uint64(0); j < n; j++ {
+			if node.ents[i+int(j)]&entPresent != 0 {
+				node.used += int(j)
+				t.mapped += j
+				return fmt.Errorf("pagetable: %#x already mapped", uint64(va)+j*extent.PageSize)
+			}
+			node.ents[i+int(j)] = entPresent | entLeaf | uint64(flags)<<flagShift | uint64(f+extent.PFN(j))<<pfnShift
+		}
+		node.used += int(n)
+		t.mapped += n
+		va += VA(n * extent.PageSize)
+		f += extent.PFN(n)
+		count -= n
+	}
+	return nil
+}
+
+// MappedRun reports how many consecutive 4 KB pages starting at va, up
+// to limit, share va's mapped/unmapped state, and what that state is. A
+// mapped run never extends past the leaf that maps va; an unmapped run
+// extends to the end of the absent entry's span. Callers iterate it to
+// partition a range into per-leaf runs in O(runs) instead of probing
+// every page — the batched populate, unmap, and access paths all build
+// on it.
+func (t *Table) MappedRun(va VA, limit uint64) (n uint64, mapped bool) {
+	node := t.root
+	for level := 3; level >= 0; level-- {
+		i := index(va, level)
+		e := node.ents[i]
+		span := pagesAtLevel[level]
+		if level == 0 && e&entPresent == 0 {
+			// A hole inside an existing PT node: extend across consecutive
+			// absent entries so sparse populates batch whole gaps. (Mapped
+			// runs must not be extended this way — frames are only known
+			// contiguous within a single leaf.)
+			run := uint64(1)
+			max := uint64(512 - i)
+			if max > limit {
+				max = limit
+			}
+			for run < max && node.ents[i+int(run)]&entPresent == 0 {
+				run++
+			}
+			return run, false
+		}
+		if e&entPresent == 0 || e&entLeaf != 0 {
+			run := span - va.Page()%span
+			if run > limit {
+				run = limit
+			}
+			return run, e&entPresent != 0
+		}
+		node = node.child(i)
+	}
+	panic("pagetable: PT entry without leaf bit") // unreachable: level-0 entries are always leaves
+}
+
 // set installs a leaf at the given level for va.
 func (t *Table) set(va VA, leafLevel int, f extent.PFN, flags Flags) error {
 	if err := t.guardShared(va, "map"); err != nil {
@@ -287,7 +382,14 @@ func (t *Table) unmapOne(va VA, npages uint64) (uint64, error) {
 		return 0, err
 	}
 	node := t.root
-	visited := []*table{node} // root → current, for interior-table GC
+	// root → current, for interior-table GC. A fixed-size array: the walk
+	// visits at most one node per level, and level-0 entries are always
+	// leaves, so the chain never exceeds the root plus three children.
+	// (Keeping this off the heap matters: unmapOne runs once per leaf of
+	// every teardown and a growing slice made it allocation-bound.)
+	var visited [4]*table
+	visited[0] = node
+	nv := 1
 	for level := 3; level >= 0; level-- {
 		i := index(va, level)
 		e := node.ents[i]
@@ -302,7 +404,8 @@ func (t *Table) unmapOne(va VA, npages uint64) (uint64, error) {
 				// level down and descend.
 				t.split(node, i, level)
 				node = node.child(i)
-				visited = append(visited, node)
+				visited[nv] = node
+				nv++
 				continue
 			}
 			node.ents[i] = 0
@@ -311,11 +414,12 @@ func (t *Table) unmapOne(va VA, npages uint64) (uint64, error) {
 				node.next[i] = nil
 			}
 			t.mapped -= span
-			t.garbageCollect(visited)
+			t.garbageCollect(visited[:nv])
 			return span, nil
 		}
 		node = node.child(i)
-		visited = append(visited, node)
+		visited[nv] = node
+		nv++
 	}
 	return 0, fmt.Errorf("pagetable: walk fell through at %#x", uint64(va))
 }

@@ -158,14 +158,20 @@ func (as *AddressSpace) RemoveRegion(r *Region) error {
 				return err
 			}
 		} else if r.Populated > 0 {
-			// Sparse (lazy) population: unmap present pages one by one.
-			for p := uint64(0); p < r.Pages(); p++ {
-				va := r.Base + pagetable.VA(p*extent.PageSize)
-				if _, _, _, ok := as.pt.Walk(va); ok {
-					if err := as.pt.Unmap(va, 1); err != nil {
+			// Sparse (lazy) population: partition the range into mapped and
+			// unmapped runs and unmap each mapped run, instead of probing
+			// every page.
+			va := r.Base
+			rem := r.Pages()
+			for rem > 0 {
+				run, mapped := as.pt.MappedRun(va, rem)
+				if mapped {
+					if err := as.pt.Unmap(va, run); err != nil {
 						return err
 					}
 				}
+				va += pagetable.VA(run * extent.PageSize)
+				rem -= run
 			}
 		}
 		as.regions = append(as.regions[:i], as.regions[i+1:]...)
@@ -196,6 +202,18 @@ func (as *AddressSpace) FindRegion(va pagetable.VA) *Region {
 	return nil
 }
 
+// legacyPerPage routes PopulateRange through the original page-at-a-time
+// loop (see SetLegacyPerPageOps).
+var legacyPerPage = false
+
+// SetLegacyPerPageOps selects the original per-page demand-population
+// loop instead of the batched run installer. Both produce identical page
+// tables (4 KB leaves), fault counts, and errors; the legacy path exists
+// as the reference baseline for equivalence tests and the engine
+// benchmark's before/after comparison. The setting is package-wide and
+// not safe to flip while accesses are in flight.
+func SetLegacyPerPageOps(on bool) { legacyPerPage = on }
+
 // PopulateRange installs PTEs for pages [va, va+npages) that are not yet
 // mapped, pulling frames from their regions' backing lists. It reports how
 // many demand faults (page installs) occurred — the OS layer charges fault
@@ -205,6 +223,49 @@ func (as *AddressSpace) PopulateRange(va pagetable.VA, npages uint64) (faults in
 	if va.Offset() != 0 {
 		return 0, fmt.Errorf("proc: unaligned populate at %#x", uint64(va))
 	}
+	if legacyPerPage {
+		return as.populateRangeLegacy(va, npages)
+	}
+	for npages > 0 {
+		run, mapped := as.pt.MappedRun(va, npages)
+		if mapped {
+			va += pagetable.VA(run * extent.PageSize)
+			npages -= run
+			continue
+		}
+		r := as.FindRegion(va)
+		if r == nil {
+			return faults, fmt.Errorf("proc: fault at %#x outside any region", uint64(va))
+		}
+		// The unmapped run may extend past the region's end (into the next
+		// region, or into unmapped space that errors on the next lap).
+		if rem := (r.End() - va).Page(); run > rem {
+			run = rem
+		}
+		idx := (va - r.Base).Page()
+		part, err := r.Backing.Slice(idx, run)
+		if err != nil {
+			return faults, err
+		}
+		// Install each physically contiguous run of backing frames with one
+		// ranged map: identical PTEs (4 KB leaves) and fault count to the
+		// per-page demand loop, O(1)-ish host work per extent.
+		for _, e := range part.Extents() {
+			if err := as.pt.MapRun(va, e.First, e.Count, r.Flags); err != nil {
+				return faults, err
+			}
+			r.Populated += e.Count
+			faults += int(e.Count)
+			va += pagetable.VA(e.Count * extent.PageSize)
+			npages -= e.Count
+		}
+	}
+	return faults, nil
+}
+
+// populateRangeLegacy is the pre-batching reference implementation: probe
+// and install one page per iteration.
+func (as *AddressSpace) populateRangeLegacy(va pagetable.VA, npages uint64) (faults int, err error) {
 	for p := uint64(0); p < npages; p++ {
 		cur := va + pagetable.VA(p*extent.PageSize)
 		if _, _, _, ok := as.pt.Walk(cur); ok {
@@ -272,33 +333,48 @@ func (as *AddressSpace) access(va pagetable.VA, p []byte, write bool) (int, erro
 	faults := 0
 	host := as.dom.Host()
 	for len(p) > 0 {
-		f, off, err := as.translateFaulting(va, &faults)
-		if err != nil {
-			return faults, err
+		pageVA := va - pagetable.VA(va.Offset())
+		// Pages the remaining access touches, counted from va's page.
+		touched := (va.Offset() + uint64(len(p)) + extent.PageSize - 1) / extent.PageSize
+		run, mapped := as.pt.MappedRun(pageVA, touched)
+		if !mapped {
+			// Demand-populate the unmapped run (clamped to the pages this
+			// access actually touches) and re-resolve.
+			n, err := as.PopulateRange(pageVA, run)
+			faults += n
+			if err != nil {
+				return faults, err
+			}
+			continue
 		}
+		f, flags, _, _ := as.pt.Walk(va)
 		// Enforce the mapping's permissions, as the MMU would: a write
-		// through a read-only XEMEM attachment is a protection fault.
-		_, flags, _, _ := as.pt.Walk(va)
+		// through a read-only XEMEM attachment is a protection fault. Flags
+		// are uniform within a leaf (Protect splits leaves at boundaries),
+		// so one check covers the whole run.
 		if write && flags&pagetable.Write == 0 {
 			return faults, fmt.Errorf("proc: write protection fault at %#x (%v)", uint64(va), flags)
 		}
 		if !write && flags&pagetable.Read == 0 {
 			return faults, fmt.Errorf("proc: read protection fault at %#x (%v)", uint64(va), flags)
 		}
-		n := extent.PageSize - off
+		// Copy through the whole leaf run at once: frames inside a leaf are
+		// physically contiguous, so one extent covers it.
+		n := run*extent.PageSize - va.Offset()
 		if n > uint64(len(p)) {
 			n = uint64(len(p))
 		}
-		hostList, err := as.dom.TranslateList(extent.FromExtents(extent.Extent{First: f, Count: 1}))
+		pages := (va.Offset() + n + extent.PageSize - 1) / extent.PageSize
+		hostList, err := as.dom.TranslateList(extent.FromExtents(extent.Extent{First: f, Count: pages}))
 		if err != nil {
 			return faults, err
 		}
 		if write {
-			if err := host.WriteAt(hostList, off, p[:n]); err != nil {
+			if err := host.WriteAt(hostList, va.Offset(), p[:n]); err != nil {
 				return faults, err
 			}
 		} else {
-			if err := host.ReadAt(hostList, off, p[:n]); err != nil {
+			if err := host.ReadAt(hostList, va.Offset(), p[:n]); err != nil {
 				return faults, err
 			}
 		}
@@ -306,19 +382,6 @@ func (as *AddressSpace) access(va pagetable.VA, p []byte, write bool) (int, erro
 		va += pagetable.VA(n)
 	}
 	return faults, nil
-}
-
-func (as *AddressSpace) translateFaulting(va pagetable.VA, faults *int) (extent.PFN, uint64, error) {
-	if f, off, err := as.pt.Translate(va); err == nil {
-		return f, off, nil
-	}
-	page := va - pagetable.VA(va.Offset())
-	n, err := as.PopulateRange(page, 1)
-	if err != nil {
-		return 0, 0, err
-	}
-	*faults += n
-	return as.pt.Translate(va)
 }
 
 // Process is a schedulable program instance inside one enclave OS.

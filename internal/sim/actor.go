@@ -28,6 +28,9 @@ type Actor struct {
 	blockReason string
 	resume      chan struct{}
 	rng         *RNG
+	// heapIdx is the actor's slot in the world's ready-queue heap, or -1
+	// when the actor is not enqueued (running, blocked, or finished).
+	heapIdx int
 }
 
 // run is the goroutine body wrapping the user function.
@@ -47,13 +50,28 @@ func (a *Actor) run(fn func(*Actor)) {
 	}
 	fn(a)
 	a.state = done
-	a.w.yield <- a
+	if !a.daemon {
+		a.w.liveNonDaemons--
+	}
+	if a.w.linearScan {
+		a.w.yield <- a
+		return
+	}
+	// Heap mode: hand control onward directly; this goroutine then exits.
+	// A done actor is never re-enqueued, so dispatchFrom cannot pick it.
+	a.w.dispatchFrom(a)
 }
 
-// pause hands control to the scheduler and waits to be dispatched again.
+// pause hands control onward and waits to be dispatched again. Heap mode
+// dispatches the next actor directly (or keeps running when this actor is
+// still the minimum); linear mode yields to the scheduler loop.
 func (a *Actor) pause() {
-	a.w.yield <- a
-	<-a.resume
+	if a.w.linearScan {
+		a.w.yield <- a
+		<-a.resume
+	} else if !a.w.dispatchFrom(a) {
+		<-a.resume
+	}
 	if a.state == killed {
 		panic(errKilled{})
 	}
@@ -74,7 +92,12 @@ func (a *Actor) World() *World { return a.w }
 // SetDaemon marks the actor as a daemon: the world's Run returns when all
 // non-daemon actors finish, terminating daemons. Kernel message loops and
 // noise generators are daemons.
-func (a *Actor) SetDaemon() { a.daemon = true }
+func (a *Actor) SetDaemon() {
+	if !a.daemon {
+		a.daemon = true
+		a.w.liveNonDaemons--
+	}
+}
 
 // RNG returns the actor's private deterministic random stream, creating it
 // on first use.
@@ -98,6 +121,21 @@ func (a *Actor) Advance(d Time) {
 
 // Sleep is a readability alias for Advance.
 func (a *Actor) Sleep(d Time) { a.Advance(d) }
+
+// AdvanceN charges n repetitions of a d-cost operation as one advance of
+// d*n, yielding to the scheduler once instead of n times. It is the
+// batched cost-charging primitive for per-page work: because the actor
+// performs no externally visible action between the individual unit
+// advances, collapsing them into a single advance leaves every actor's
+// timestamps — and therefore the whole simulated schedule's outcomes —
+// unchanged, while the host does O(1) work instead of O(n).
+func (a *Actor) AdvanceN(d Time, n uint64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %d by %s", d, a.name))
+	}
+	a.now += d * Time(n)
+	a.pause()
+}
 
 // AdvanceTo moves the actor's clock forward to t (no-op if already past).
 func (a *Actor) AdvanceTo(t Time) {
@@ -128,6 +166,7 @@ func (a *Actor) Unblock(b *Actor) {
 	if b.now < a.now {
 		b.now = a.now
 	}
+	a.w.heapPush(b)
 }
 
 // Poll repeatedly evaluates cond, advancing by interval between checks,
@@ -147,5 +186,6 @@ func (a *Actor) Poll(interval Time, cond func() bool) int {
 func (a *Actor) Spawn(name string, fn func(*Actor)) *Actor {
 	child := a.w.Spawn(name, fn)
 	child.now = a.now
+	a.w.heapFix(child)
 	return child
 }

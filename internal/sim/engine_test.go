@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mixedWorkload builds a workload exercising every scheduler entry point:
+// random-stride advances, block/unblock pairs, batched AdvanceN charges,
+// spawn-during-run, SpawnAt staggering, and a forever-advancing daemon
+// that Run must terminate.
+func mixedWorkload(w *World) {
+	for i := 0; i < 8; i++ {
+		w.Spawn(fmt.Sprintf("stride%d", i), func(a *Actor) {
+			r := a.RNG()
+			for s := 0; s < 50; s++ {
+				a.Advance(Time(r.Intn(500)) * Nanosecond)
+			}
+		})
+	}
+	var waiter *Actor
+	waiter = w.Spawn("waiter", func(a *Actor) {
+		for i := 0; i < 5; i++ {
+			a.Block("wait-signal")
+			a.Advance(10 * Nanosecond)
+		}
+	})
+	w.Spawn("signaller", func(a *Actor) {
+		r := a.RNG()
+		for i := 0; i < 5; i++ {
+			a.Advance(Time(r.Intn(2000)) * Nanosecond)
+			a.Unblock(waiter)
+		}
+	})
+	w.Spawn("spawner", func(a *Actor) {
+		a.AdvanceN(7*Nanosecond, 100) // one batched charge of 700ns
+		a.Spawn("child", func(c *Actor) {
+			c.AdvanceN(3*Nanosecond, 33)
+			c.Advance(Nanosecond)
+		})
+		a.Advance(500 * Nanosecond)
+	})
+	w.SpawnAt("late", 4*Microsecond, func(a *Actor) {
+		a.Advance(100 * Nanosecond)
+	})
+	w.Spawn("noise", func(a *Actor) {
+		a.SetDaemon()
+		for {
+			a.Advance(111 * Nanosecond)
+		}
+	})
+}
+
+// runTraced runs mixedWorkload under the given scheduler mode and returns
+// the full dispatch trace.
+func runTraced(t *testing.T, linear bool) string {
+	t.Helper()
+	w := NewWorld(99)
+	w.SetLinearScan(linear)
+	var b strings.Builder
+	w.Trace = func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+	mixedWorkload(w)
+	if err := w.Run(); err != nil {
+		t.Fatalf("linear=%v: %v", linear, err)
+	}
+	return b.String()
+}
+
+// TestHeapLinearTracesIdentical is the determinism regression test for the
+// heap scheduler: the indexed min-heap and the original linear scan must
+// produce byte-identical dispatch sequences for a workload that mixes
+// every scheduling primitive.
+func TestHeapLinearTracesIdentical(t *testing.T) {
+	heap := runTraced(t, false)
+	linear := runTraced(t, true)
+	if heap != linear {
+		hl := strings.Split(heap, "\n")
+		ll := strings.Split(linear, "\n")
+		for i := 0; i < len(hl) && i < len(ll); i++ {
+			if hl[i] != ll[i] {
+				t.Fatalf("traces diverge at line %d:\n  heap:   %s\n  linear: %s", i, hl[i], ll[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: heap %d lines, linear %d lines", len(hl), len(ll))
+	}
+	if len(heap) == 0 {
+		t.Fatal("empty trace — Trace hook not firing")
+	}
+}
+
+// TestKillAllTeardownOrder pins the end-of-run teardown contract: killAll
+// terminates unfinished actors in spawn order, in both scheduler modes, so
+// daemon cleanup (deferred in the actor function, run during the errKilled
+// unwind) is deterministic.
+func TestKillAllTeardownOrder(t *testing.T) {
+	for _, linear := range []bool{false, true} {
+		w := NewWorld(1)
+		w.SetLinearScan(linear)
+		var torn []string
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("d%d", i)
+			w.Spawn(name, func(a *Actor) {
+				a.SetDaemon()
+				defer func() { torn = append(torn, name) }()
+				a.Block("wait-forever")
+			})
+		}
+		w.Spawn("worker", func(a *Actor) { a.Advance(5 * Nanosecond) })
+		if err := w.Run(); err != nil {
+			t.Fatalf("linear=%v: %v", linear, err)
+		}
+		want := "d0,d1,d2"
+		if got := strings.Join(torn, ","); got != want {
+			t.Fatalf("linear=%v: teardown order %s, want %s", linear, got, want)
+		}
+	}
+}
+
+// TestSpawnDuringRunScheduling verifies a child spawned mid-run inherits
+// the parent's clock and is scheduled against it correctly — in both
+// scheduler modes (Actor.Spawn must fix the child's heap position after
+// setting its start time).
+func TestSpawnDuringRunScheduling(t *testing.T) {
+	for _, linear := range []bool{false, true} {
+		w := NewWorld(1)
+		w.SetLinearScan(linear)
+		var events []string
+		w.Spawn("parent", func(a *Actor) {
+			a.Advance(10 * Nanosecond)
+			a.Spawn("child", func(c *Actor) {
+				events = append(events, fmt.Sprintf("child-start@%v", c.Now()))
+				c.Advance(Nanosecond)
+				events = append(events, fmt.Sprintf("child@%v", c.Now()))
+			})
+			a.Advance(5 * Nanosecond)
+			events = append(events, fmt.Sprintf("parent@%v", a.Now()))
+		})
+		if err := w.Run(); err != nil {
+			t.Fatalf("linear=%v: %v", linear, err)
+		}
+		want := "child-start@10ns,child@11ns,parent@15ns"
+		if got := strings.Join(events, ","); got != want {
+			t.Fatalf("linear=%v: events %s, want %s", linear, got, want)
+		}
+	}
+}
+
+// TestSetLinearScanRebuildsHeap covers the mode flip itself: actors
+// spawned while linear must be enqueued when the heap is re-enabled.
+func TestSetLinearScanRebuildsHeap(t *testing.T) {
+	w := NewWorld(1)
+	w.SetLinearScan(true)
+	var order []string
+	for _, n := range []string{"a", "b"} {
+		name := n
+		w.Spawn(name, func(a *Actor) {
+			a.Advance(Nanosecond)
+			order = append(order, name)
+		})
+	}
+	w.SetLinearScan(false) // back to heap: ready queue must be rebuilt
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "a,b" {
+		t.Fatalf("order = %s", got)
+	}
+}

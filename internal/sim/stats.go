@@ -5,6 +5,25 @@ import (
 	"sort"
 )
 
+// CacheStats counts the traffic of a memoization cache — hits, misses,
+// and invalidations. The XEMEM serve path uses one for its segid →
+// frame-list cache; experiment harnesses read the counters to verify
+// cache behaviour without affecting simulated time.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// HitRate reports hits / (hits + misses), or 0 when the cache is unused.
+func (c CacheStats) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
 // Sample accumulates observations and reports summary statistics. The
 // experiment harnesses use it for the mean ± stddev values the paper's
 // figures report.

@@ -10,6 +10,13 @@ import (
 // Create one with NewWorld, add actors with Spawn (before or during Run),
 // and call Run to execute the simulation to completion.
 //
+// Dispatch order is defined by the minimal (time, id) pair over all ready
+// actors, ties broken by the lower actor id. The default scheduler keeps
+// ready actors in an indexed min-heap so each dispatch is O(log n); the
+// original O(n) linear scan is retained behind SetLinearScan as a
+// reference implementation for determinism regression tests and
+// benchmarking. Both produce bit-identical schedules.
+//
 // A World is not safe for concurrent use from multiple host goroutines;
 // actors themselves never need synchronization because the scheduler
 // guarantees mutual exclusion.
@@ -22,6 +29,16 @@ type World struct {
 	nextRNG uint64
 	stopped bool
 
+	// heap is the ready queue: an indexed min-heap on (time, id). Running,
+	// blocked, and finished actors are not in it. Unused when linearScan.
+	heap []*Actor
+	// liveNonDaemons counts non-daemon actors that have not finished, so
+	// the run loop's termination check is O(1) instead of a scan.
+	liveNonDaemons int
+	// linearScan selects the pre-heap O(n) scheduler (reference
+	// implementation, see SetLinearScan).
+	linearScan bool
+
 	// Trace, if non-nil, receives a line per scheduling decision. Used by
 	// tests; nil in normal runs.
 	Trace func(format string, args ...any)
@@ -32,6 +49,32 @@ func NewWorld(seed uint64) *World {
 	return &World{
 		yield: make(chan *Actor),
 		seed:  seed,
+	}
+}
+
+// SetLinearScan switches the scheduler to the original O(n)
+// linear-scan dispatch loop. The schedule is bit-identical to the default
+// heap scheduler — both pick the ready actor with minimal (time, id) — so
+// this exists only as the reference baseline for determinism regression
+// tests and for the engine benchmark's before/after comparison. It must
+// be called before Run.
+func (w *World) SetLinearScan(on bool) {
+	if w.running {
+		panic("sim: SetLinearScan while running")
+	}
+	if on == w.linearScan {
+		return
+	}
+	w.linearScan = on
+	w.heap = w.heap[:0]
+	if !on {
+		// Rebuild the ready queue for any actors spawned while linear.
+		for _, a := range w.actors {
+			a.heapIdx = -1
+			if a.state == ready {
+				w.heapPush(a)
+			}
+		}
 	}
 }
 
@@ -52,13 +95,16 @@ func (w *World) NewRNG() *RNG {
 // the world alive.
 func (w *World) Spawn(name string, fn func(*Actor)) *Actor {
 	a := &Actor{
-		id:     len(w.actors),
-		name:   name,
-		w:      w,
-		state:  ready,
-		resume: make(chan struct{}),
+		id:      len(w.actors),
+		name:    name,
+		w:       w,
+		state:   ready,
+		resume:  make(chan struct{}),
+		heapIdx: -1,
 	}
 	w.actors = append(w.actors, a)
+	w.liveNonDaemons++
+	w.heapPush(a)
 	go a.run(fn)
 	return a
 }
@@ -68,6 +114,7 @@ func (w *World) Spawn(name string, fn func(*Actor)) *Actor {
 func (w *World) SpawnAt(name string, start Time, fn func(*Actor)) *Actor {
 	a := w.Spawn(name, fn)
 	a.now = start
+	w.heapFix(a)
 	return a
 }
 
@@ -78,6 +125,14 @@ var ErrDeadlock = errors.New("sim: deadlock")
 // Run executes the simulation until every non-daemon actor has finished.
 // Remaining daemon actors are then terminated. Run reports a deadlock if
 // no actor is runnable while non-daemon actors are still blocked.
+//
+// In heap mode dispatch is mostly actor-to-actor: a yielding actor picks
+// the next one from the ready queue and resumes it directly (or keeps
+// running when it is itself the minimum), so the common case costs one
+// goroutine handoff instead of the two a scheduler round-trip takes.
+// Control returns here only for termination and deadlock handling. Linear
+// mode routes every yield through this loop, exactly as the pre-heap
+// engine did.
 func (w *World) Run() error {
 	if w.running {
 		return errors.New("sim: world already running")
@@ -86,11 +141,21 @@ func (w *World) Run() error {
 	defer func() { w.running = false }()
 
 	for {
-		if !w.nonDaemonAlive() {
+		if w.linearScan {
+			if !w.nonDaemonAlive() {
+				w.killAll()
+				return nil
+			}
+		} else if w.liveNonDaemons == 0 {
 			w.killAll()
 			return nil
 		}
-		next := w.pickNext()
+		var next *Actor
+		if w.linearScan {
+			next = w.pickNextLinear()
+		} else {
+			next = w.heapPop()
+		}
 		if next == nil {
 			if blocked := w.blockedNonDaemons(); len(blocked) > 0 {
 				w.killAll()
@@ -100,19 +165,56 @@ func (w *World) Run() error {
 			w.killAll()
 			return nil
 		}
-		if next.now > w.now {
-			w.now = next.now
-		}
-		if w.Trace != nil {
-			w.Trace("t=%v run %s", w.now, next.name)
-		}
+		w.dispatch(next)
 		next.resume <- struct{}{}
 		<-w.yield
 	}
 }
 
-// pickNext returns the ready actor with the minimal (time, id), or nil.
-func (w *World) pickNext() *Actor {
+// dispatch advances the global clock to the dispatched actor's and emits
+// the trace line. It runs on whichever goroutine performs the handoff —
+// the scheduler or, in heap mode, the yielding actor — always under the
+// one-runnable-goroutine guarantee.
+func (w *World) dispatch(next *Actor) {
+	if next.now > w.now {
+		w.now = next.now
+	}
+	if w.Trace != nil {
+		w.Trace("t=%v run %s", w.now, next.name)
+	}
+}
+
+// dispatchFrom hands control onward from a, which has just updated its
+// own state and clock (heap mode only). It returns true when a is itself
+// the minimal ready actor and should simply keep running — no handoff at
+// all. Otherwise it resumes the next actor directly, or wakes the
+// scheduler loop when termination or deadlock handling is needed, and
+// returns false: a finished actor then exits, a yielding one waits on its
+// resume channel.
+func (w *World) dispatchFrom(a *Actor) bool {
+	if a.state == ready {
+		w.heapPush(a)
+	}
+	if w.liveNonDaemons == 0 {
+		w.yield <- a
+		return false
+	}
+	next := w.heapPop()
+	if next == nil {
+		w.yield <- a
+		return false
+	}
+	w.dispatch(next)
+	if next == a {
+		return true
+	}
+	next.resume <- struct{}{}
+	return false
+}
+
+// pickNextLinear is the original O(n) dispatch scan, kept as the
+// reference implementation behind SetLinearScan.
+func (w *World) pickNextLinear() *Actor {
 	var best *Actor
 	for _, a := range w.actors {
 		if a.state != ready {
@@ -125,7 +227,93 @@ func (w *World) pickNext() *Actor {
 	return best
 }
 
-// nonDaemonAlive reports whether any non-daemon actor has not finished.
+// --- ready-queue heap ---------------------------------------------------
+//
+// Invariant: heap[i] is a ready actor with heap[i].heapIdx == i, and the
+// key (now, id) of every node is <= its children's. Ids are unique, so
+// the minimum is unique and the heap's pop order equals the linear scan's
+// pick order exactly.
+
+// actorLess orders actors by (time, id) — the dispatch priority.
+func actorLess(a, b *Actor) bool {
+	return a.now < b.now || (a.now == b.now && a.id < b.id)
+}
+
+// heapPush enqueues a ready actor. No-op in linear mode, where the scan
+// consults actor state directly.
+func (w *World) heapPush(a *Actor) {
+	if w.linearScan {
+		return
+	}
+	a.heapIdx = len(w.heap)
+	w.heap = append(w.heap, a)
+	w.siftUp(a.heapIdx)
+}
+
+// heapPop removes and returns the minimal-(time,id) ready actor, or nil.
+func (w *World) heapPop() *Actor {
+	if len(w.heap) == 0 {
+		return nil
+	}
+	top := w.heap[0]
+	last := len(w.heap) - 1
+	w.heap[0] = w.heap[last]
+	w.heap[0].heapIdx = 0
+	w.heap[last] = nil
+	w.heap = w.heap[:last]
+	if last > 0 {
+		w.siftDown(0)
+	}
+	top.heapIdx = -1
+	return top
+}
+
+// heapFix restores the heap invariant after a's clock changed while
+// enqueued (SpawnAt and child-spawn set the start time after Spawn).
+func (w *World) heapFix(a *Actor) {
+	if w.linearScan || a.heapIdx < 0 {
+		return
+	}
+	w.siftUp(a.heapIdx)
+	w.siftDown(a.heapIdx)
+}
+
+func (w *World) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !actorLess(w.heap[i], w.heap[parent]) {
+			break
+		}
+		w.heap[i], w.heap[parent] = w.heap[parent], w.heap[i]
+		w.heap[i].heapIdx = i
+		w.heap[parent].heapIdx = parent
+		i = parent
+	}
+}
+
+func (w *World) siftDown(i int) {
+	n := len(w.heap)
+	for {
+		min := i
+		if l := 2*i + 1; l < n && actorLess(w.heap[l], w.heap[min]) {
+			min = l
+		}
+		if r := 2*i + 2; r < n && actorLess(w.heap[r], w.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		w.heap[i], w.heap[min] = w.heap[min], w.heap[i]
+		w.heap[i].heapIdx = i
+		w.heap[min].heapIdx = min
+		i = min
+	}
+}
+
+// nonDaemonAlive reports whether any non-daemon actor has not finished
+// (linear-mode termination check; heap mode uses the liveNonDaemons
+// counter).
 func (w *World) nonDaemonAlive() bool {
 	for _, a := range w.actors {
 		if !a.daemon && a.state != done && a.state != killed {
@@ -147,7 +335,9 @@ func (w *World) blockedNonDaemons() []string {
 }
 
 // killAll terminates every actor that has not finished, including daemons
-// blocked on message loops, so their goroutines do not leak.
+// blocked on message loops, so their goroutines do not leak. Termination
+// follows spawn order, which keeps teardown deterministic regardless of
+// scheduler mode.
 func (w *World) killAll() {
 	for _, a := range w.actors {
 		if a.state == done || a.state == killed {
