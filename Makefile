@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build race test bench
+.PHONY: check vet build race test fuzz cover bench
 
 # check runs everything CI needs: static analysis, a full build, the
-# race-sensitive engine and cache suites, and the tier-1 test suite.
-check: vet build race test
+# race-sensitive engine/cache/trace suites, a short fuzz smoke, the
+# tier-1 test suite, and the coverage floors.
+check: vet build race test fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -12,14 +13,33 @@ vet:
 build:
 	$(GO) build ./...
 
-# The scheduler's direct actor-to-actor handoff and the frame-list cache
-# are the concurrency-sensitive parts: run their packages under the race
-# detector explicitly.
+# The scheduler's direct actor-to-actor handoff, the frame-list cache,
+# and the tracer (invoked from every dispatch) are the
+# concurrency-sensitive parts: run their packages under the race
+# detector explicitly, plus the trace-enabled experiment suites.
 race:
-	$(GO) test -race ./internal/sim ./internal/xpmem
+	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem
+	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain'
 
 test:
 	$(GO) test ./...
+
+# Short fuzz smoke over the two guest-memory-map structures (the full
+# corpora replay in `test`; this explores a little beyond them).
+fuzz:
+	$(GO) test ./internal/rbtree -fuzz=FuzzOps -fuzztime=10s
+	$(GO) test ./internal/radix -fuzz=FuzzOps -fuzztime=10s
+
+# Coverage floors for the load-bearing packages: the sim engine and the
+# XPMEM API layer.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/sim/... ./internal/xpmem
+	$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	floor=80; \
+	if [ "$${total%.*}" -lt "$$floor" ]; then \
+		echo "coverage $$total% is below the $$floor% floor"; exit 1; \
+	fi
 
 # Engine fast-path benchmark: writes BENCH_engine.json.
 bench:

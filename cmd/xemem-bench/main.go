@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"xemem/internal/experiments"
+	"xemem/internal/sim/trace"
 )
 
 func main() {
@@ -25,7 +26,44 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	fast := flag.Bool("fast", false, "reduced repetition counts for quick runs")
 	jsonOut := flag.Bool("json", false, "run the engine benchmark and write BENCH_engine.json (host wall-clock of the fast paths vs their reference implementations)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of every simulated world to this file (open in chrome://tracing or Perfetto; combine with -fast)")
+	metricsOut := flag.String("metrics", "", "write per-world contention metrics JSON to this file and print the per-figure breakdown tables")
 	flag.Parse()
+
+	var set *trace.Set
+	if *traceOut != "" || *metricsOut != "" {
+		set = trace.NewSet()
+		set.SetKeepEvents(*traceOut != "") // metrics-only runs keep memory flat
+		experiments.Observe = set.Hook()
+	}
+	exportTraces := func() {
+		if set == nil {
+			return
+		}
+		if *metricsOut != "" {
+			fmt.Println(experiments.Breakdown(set))
+		}
+		write := func(path string, fn func(*os.File) error) {
+			f, err := os.Create(path)
+			if err == nil {
+				err = fn(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *traceOut != "" {
+			write(*traceOut, func(f *os.File) error { return set.WriteChromeTrace(f) })
+		}
+		if *metricsOut != "" {
+			write(*metricsOut, func(f *os.File) error { return set.WriteMetricsJSON(f) })
+		}
+	}
 
 	if *jsonOut {
 		res, err := experiments.EngineBench(*seed, "BENCH_engine.json")
@@ -80,4 +118,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	exportTraces()
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"xemem/internal/experiments"
+	"xemem/internal/sim/trace"
 )
 
 func main() {
@@ -25,7 +26,16 @@ func main() {
 	recurring := flag.Bool("recurring", false, "recurring attachment model (default one-time)")
 	runs := flag.Int("runs", 3, "repetitions (mean ± stddev reported)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of every run to this file (open in chrome://tracing or Perfetto)")
+	metricsOut := flag.String("metrics", "", "write per-run contention metrics JSON to this file and print the breakdown tables")
 	flag.Parse()
+
+	var set *trace.Set
+	if *traceOut != "" || *metricsOut != "" {
+		set = trace.NewSet()
+		set.SetKeepEvents(*traceOut != "")
+		experiments.Observe = set.Hook()
+	}
 
 	names := map[string]experiments.Fig8Config{
 		"linux-linux":          experiments.LinuxLinux,
@@ -56,4 +66,31 @@ func main() {
 	fmt.Printf("Workflow      : %s execution, %s attachments\n", model, attach)
 	fmt.Printf("Runs          : %d\n", *runs)
 	fmt.Printf("HPC simulation: %.2f ± %.2f s\n", res.MeanS, res.StdS)
+
+	if set != nil {
+		if *metricsOut != "" {
+			fmt.Println()
+			fmt.Println(experiments.Breakdown(set))
+		}
+		write := func(path string, fn func(*os.File) error) {
+			f, err := os.Create(path)
+			if err == nil {
+				err = fn(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *traceOut != "" {
+			write(*traceOut, func(f *os.File) error { return set.WriteChromeTrace(f) })
+		}
+		if *metricsOut != "" {
+			write(*metricsOut, func(f *os.File) error { return set.WriteMetricsJSON(f) })
+		}
+	}
 }

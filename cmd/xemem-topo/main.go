@@ -28,6 +28,7 @@ import (
 	"xemem/internal/palacios"
 	"xemem/internal/pisces"
 	"xemem/internal/sim"
+	"xemem/internal/sim/trace"
 	"xemem/internal/xpmem"
 )
 
@@ -42,9 +43,17 @@ func main() {
 	spec := flag.String("spec", "kitten,kitten(vm,vm),vm", "topology spec (see doc comment)")
 	demo := flag.Bool("demo", true, "run a shared-memory exchange between the first and last enclaves")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the bootstrap and demo to this file (open in chrome://tracing or Perfetto)")
+	metricsOut := flag.String("metrics", "", "write contention metrics JSON to this file and print the breakdown table")
 	flag.Parse()
 
 	node := xemem.NewNode(xemem.NodeConfig{Seed: *seed, MemBytes: 16 << 30})
+	var set *trace.Set
+	if *traceOut != "" || *metricsOut != "" {
+		set = trace.NewSet()
+		set.SetKeepEvents(*traceOut != "")
+		node.World().SetObserver(set.Get(fmt.Sprintf("topo/%s", *spec)))
+	}
 	var enclaves []*enclave
 
 	var counter int
@@ -124,6 +133,33 @@ func main() {
 	fmt.Printf("  %s\n", node.LinuxModule().R.RouteTable())
 	for _, e := range enclaves {
 		fmt.Printf("  %s\n", e.mod.R.RouteTable())
+	}
+
+	if set != nil {
+		if *metricsOut != "" {
+			fmt.Println()
+			fmt.Print(set.Tracers()[0].Summary())
+		}
+		write := func(path string, fn func(*os.File) error) {
+			f, err := os.Create(path)
+			if err == nil {
+				err = fn(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *traceOut != "" {
+			write(*traceOut, func(f *os.File) error { return set.WriteChromeTrace(f) })
+		}
+		if *metricsOut != "" {
+			write(*metricsOut, func(f *os.File) error { return set.WriteMetricsJSON(f) })
+		}
 	}
 }
 

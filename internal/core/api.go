@@ -47,7 +47,7 @@ func (m *Module) resolveDst(a *sim.Actor, msg *xproto.Message) error {
 	}
 	switch msg.Type {
 	case xproto.MsgGetReq, xproto.MsgAttachReq, xproto.MsgReleaseNotify, xproto.MsgDetachNotify:
-		a.Advance(m.c.NSOp)
+		a.Charge("ns-op", m.c.NSOp)
 		owner, ok := m.NS.Owner(msg.Segid)
 		if !ok {
 			return ErrNotFound
@@ -109,7 +109,7 @@ func (m *Module) allocApid() xproto.Apid {
 // discovery. It returns the globally unique segid.
 func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint64, perm xproto.Perm, name string) (xproto.Segid, error) {
 	m.WaitReady(a)
-	a.Advance(m.c.Syscall)
+	a.Charge("syscall", m.c.Syscall)
 	if bytes == 0 || bytes%pageSize != 0 || va.Offset() != 0 {
 		return xproto.NoSegid, fmt.Errorf("xemem: make of unaligned range [%#x,+%d)", uint64(va), bytes)
 	}
@@ -120,7 +120,7 @@ func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint
 
 	var segid xproto.Segid
 	if m.NS != nil {
-		a.Advance(m.c.NSOp)
+		a.Charge("ns-op", m.c.NSOp)
 		var err error
 		segid, err = m.NS.AllocSegid(m.R.Self())
 		if err != nil {
@@ -157,7 +157,7 @@ func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint
 
 func (m *Module) publish(a *sim.Actor, segid xproto.Segid, name string) error {
 	if m.NS != nil {
-		a.Advance(m.c.NSOp)
+		a.Charge("ns-op", m.c.NSOp)
 		return m.NS.Publish(name, segid, m.R.Self())
 	}
 	_, err := m.rpc(a, &xproto.Message{Type: xproto.MsgNamePublish, Dst: xproto.NoEnclave, Segid: segid, Name: name})
@@ -168,9 +168,9 @@ func (m *Module) publish(a *sim.Actor, segid xproto.Segid, name string) error {
 // (discoverability, §3.1).
 func (m *Module) Lookup(a *sim.Actor, name string) (xproto.Segid, error) {
 	m.WaitReady(a)
-	a.Advance(m.c.Syscall)
+	a.Charge("syscall", m.c.Syscall)
 	if m.NS != nil {
-		a.Advance(m.c.NSOp)
+		a.Charge("ns-op", m.c.NSOp)
 		if segid, ok := m.NS.Lookup(name); ok {
 			return segid, nil
 		}
@@ -188,7 +188,7 @@ func (m *Module) Lookup(a *sim.Actor, name string) (xproto.Segid, error) {
 // pinned until detach); new gets and attaches fail.
 func (m *Module) Remove(a *sim.Actor, p *proc.Process, segid xproto.Segid) error {
 	m.WaitReady(a)
-	a.Advance(m.c.Syscall)
+	a.Charge("syscall", m.c.Syscall)
 	seg, ok := m.segs[segid]
 	if !ok || seg.Removed {
 		return ErrNotFound
@@ -199,7 +199,7 @@ func (m *Module) Remove(a *sim.Actor, p *proc.Process, segid xproto.Segid) error
 	seg.Removed = true
 	m.invalidateFrameCache(segid)
 	if m.NS != nil {
-		a.Advance(m.c.NSOp)
+		a.Charge("ns-op", m.c.NSOp)
 		return m.NS.RemoveSegid(segid, m.R.Self())
 	}
 	m.notify(a, &xproto.Message{Type: xproto.MsgSegidRemove, Dst: xproto.NoEnclave, Segid: segid})
@@ -211,7 +211,7 @@ func (m *Module) Remove(a *sim.Actor, p *proc.Process, segid xproto.Segid) error
 // remote segments the request routes to the owner via the name server.
 func (m *Module) Get(a *sim.Actor, p *proc.Process, segid xproto.Segid, perm xproto.Perm) (xproto.Apid, error) {
 	m.WaitReady(a)
-	a.Advance(m.c.Syscall)
+	a.Charge("syscall", m.c.Syscall)
 	if seg, ok := m.segs[segid]; ok {
 		if seg.Removed {
 			return xproto.NoApid, ErrNotFound
@@ -233,7 +233,7 @@ func (m *Module) Get(a *sim.Actor, p *proc.Process, segid xproto.Segid, perm xpr
 // Release drops a permission grant (xpmem_release).
 func (m *Module) Release(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid xproto.Apid) error {
 	m.WaitReady(a)
-	a.Advance(m.c.Syscall)
+	a.Charge("syscall", m.c.Syscall)
 	if seg, ok := m.segs[segid]; ok {
 		permit, ok := seg.permits[apid]
 		if !ok || permit.HolderP != p {
@@ -256,7 +256,7 @@ func (m *Module) Release(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid
 // matching xpmem_attach's "size of segment" convention.
 func (m *Module) Attach(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid xproto.Apid, offset, bytes uint64, perm xproto.Perm) (pagetable.VA, error) {
 	m.WaitReady(a)
-	a.Advance(m.c.Syscall)
+	a.Charge("syscall", m.c.Syscall)
 	if offset%pageSize != 0 {
 		return 0, fmt.Errorf("xemem: attach at unaligned offset %#x", offset)
 	}
@@ -316,7 +316,7 @@ func (m *Module) Attach(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid 
 // Detach unmaps an attachment by any address inside it (xpmem_detach).
 func (m *Module) Detach(a *sim.Actor, p *proc.Process, va pagetable.VA) error {
 	m.WaitReady(a)
-	a.Advance(m.c.Syscall)
+	a.Charge("syscall", m.c.Syscall)
 	region := p.AS.FindRegion(va)
 	if region == nil {
 		return fmt.Errorf("xemem: detach of unmapped address %#x", uint64(va))

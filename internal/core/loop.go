@@ -27,7 +27,7 @@ func (m *Module) handle(a *sim.Actor, msg *xproto.Message, via xproto.Link) {
 
 	case xproto.MsgEnclaveIDReq:
 		if m.NS != nil {
-			a.Advance(m.c.NSOp)
+			a.Charge("ns-op", m.c.NSOp)
 			id := m.NS.AllocEnclaveID()
 			m.R.Learn(id, via)
 			m.sendOn(a, via, &xproto.Message{
@@ -46,7 +46,7 @@ func (m *Module) handle(a *sim.Actor, msg *xproto.Message, via xproto.Link) {
 		if hopVia, ok := m.R.TakeHop(msg.ReqID); ok {
 			// A response passing through: learn the route to the new
 			// enclave and retrace the request path (§3.2).
-			a.Advance(m.c.RouteLookup)
+			a.Charge("route-lookup", m.c.RouteLookup)
 			m.R.Learn(xproto.EnclaveID(msg.Value), hopVia)
 			m.Stats.MsgsForwarded++
 			m.sendOn(a, hopVia, msg)
@@ -75,7 +75,7 @@ func (m *Module) handle(a *sim.Actor, msg *xproto.Message, via xproto.Link) {
 
 // forward routes msg toward dst (NoEnclave = toward the name server).
 func (m *Module) forward(a *sim.Actor, msg *xproto.Message, dst xproto.EnclaveID) {
-	a.Advance(m.c.RouteLookup)
+	a.Charge("route-lookup", m.c.RouteLookup)
 	l, err := m.route(dst)
 	if err != nil {
 		m.Stats.DroppedMessages++
@@ -99,7 +99,7 @@ func (m *Module) reply(a *sim.Actor, resp *xproto.Message) {
 // commands (get/attach/release/detach) are resolved through the
 // segid→enclave map and forwarded to the owner, per Fig. 3.
 func (m *Module) handleNS(a *sim.Actor, msg *xproto.Message) {
-	a.Advance(m.c.NSOp)
+	a.Charge("ns-op", m.c.NSOp)
 	switch msg.Type {
 	case xproto.MsgSegidAllocReq:
 		segid, err := m.NS.AllocSegid(msg.Src)

@@ -393,7 +393,7 @@ func (m *Module) sendOn(a *sim.Actor, l xproto.Link, msg *xproto.Message) {
 	if m.Trace != nil {
 		m.Trace(msg)
 	}
-	a.Advance(m.c.MsgFixed)
+	a.Charge("msg-send", m.c.MsgFixed)
 	l.Send(a, msg)
 }
 

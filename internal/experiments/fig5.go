@@ -40,6 +40,7 @@ func Fig5(seed uint64, reps int) (*Fig5Result, error) {
 	sizes := []int{128, 256, 512, 1024}
 
 	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30, LinuxCores: 4})
+	observeWorld("fig5", node.World())
 	ck, err := node.BootCoKernel("kitten0", 2<<30)
 	if err != nil {
 		return nil, err
@@ -115,6 +116,7 @@ func Fig5(seed uint64, reps int) (*Fig5Result, error) {
 	// RDMA baseline: its own world — a bandwidth test between two KVM
 	// virtual machines, each owning one virtual function (§5.2).
 	w := sim.NewWorld(seed + 1)
+	observeWorld("fig5/rdma", w)
 	dev := rdma.NewDevice("cx3", sim.DefaultCosts())
 	vf := dev.NewVF("vf0")
 	var rdmaErr error

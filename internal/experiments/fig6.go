@@ -42,7 +42,7 @@ func Fig6(seed uint64, reps int) (*Fig6Result, error) {
 
 	for _, enclaves := range []int{1, 2, 4, 8} {
 		for _, szMB := range sizes {
-			bw, core0busy, err := fig6Point(seed, enclaves, szMB, reps)
+			bw, _, core0busy, err := fig6Point(seed, enclaves, szMB, reps)
 			if err != nil {
 				return nil, err
 			}
@@ -56,13 +56,14 @@ func Fig6(seed uint64, reps int) (*Fig6Result, error) {
 }
 
 // fig6Point runs one configuration and returns the mean per-attacher
-// throughput.
-func fig6Point(seed uint64, enclaves, szMB, reps int) (float64, sim.Time, error) {
+// throughput, the mean per-attachment latency, and core 0's busy time.
+func fig6Point(seed uint64, enclaves, szMB, reps int) (float64, sim.Time, sim.Time, error) {
 	node := xemem.NewNode(xemem.NodeConfig{
 		Seed:       seed + uint64(enclaves*1000+szMB),
 		MemBytes:   32 << 30,
 		LinuxCores: 1 + enclaves, // core 0 + one per attacher
 	})
+	observeWorld(fmt.Sprintf("fig6/enclaves=%d/size=%dMB", enclaves, szMB), node.World())
 	bytes := uint64(szMB) << 20
 
 	type pair struct {
@@ -74,17 +75,18 @@ func fig6Point(seed uint64, enclaves, szMB, reps int) (float64, sim.Time, error)
 	for i := 0; i < enclaves; i++ {
 		ck, err := node.BootCoKernel(fmt.Sprintf("kitten%d", i), 1536<<20)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		expSess, heap, err := node.KittenProcess(ck, fmt.Sprintf("exp%d", i), 1<<30)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		attSess, _ := node.LinuxProcess(fmt.Sprintf("att%d", i), 1+i)
 		pairs[i] = pair{exp: expSess, att: attSess, heap: heap.Base}
 	}
 
 	bws := make([]float64, enclaves)
+	totals := make([]sim.Time, enclaves)
 	var runErr error
 	for i := range pairs {
 		i := i
@@ -115,20 +117,24 @@ func fig6Point(seed uint64, enclaves, szMB, reps int) (float64, sim.Time, error)
 				}
 			}
 			bws[i] = sim.PerSecond(float64(bytes)*float64(reps), total)
+			totals[i] = total
 		})
 	}
 	if err := node.Run(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if runErr != nil {
-		return 0, 0, runErr
+		return 0, 0, 0, runErr
 	}
 	mean := 0.0
-	for _, bw := range bws {
+	var attachSum sim.Time
+	for i, bw := range bws {
 		mean += bw
+		attachSum += totals[i]
 	}
 	mean /= float64(enclaves)
-	return mean, node.Linux().Cores()[0].BusyTime(), nil
+	meanAttach := attachSum / sim.Time(enclaves*reps)
+	return mean, meanAttach, node.Linux().Cores()[0].BusyTime(), nil
 }
 
 // String renders the figure as the paper's series (one line per size).

@@ -48,6 +48,7 @@ func Fig7(seed uint64) (*Fig7Result, error) {
 		{"1GB", 1 << 30},
 	} {
 		node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30})
+		observeWorld("fig7/"+phase.name, node.World())
 		ck, err := node.BootCoKernel("kitten0", 2<<30)
 		if err != nil {
 			return nil, err

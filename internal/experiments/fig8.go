@@ -74,6 +74,7 @@ func Fig8(seed uint64, runs int) (*Fig8Result, error) {
 // simulation's completion time.
 func fig8Run(seed uint64, config Fig8Config, sync, recurring bool) (sim.Time, error) {
 	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 16 << 30, LinuxCores: 8})
+	observeWorld(fmt.Sprintf("fig8/%s/sync=%v/recurring=%v/seed=%d", config, sync, recurring, seed), node.World())
 	costs := node.Costs()
 	regionBytes := uint64(fig8DataBytes) + 64<<10 // data + control page slack
 

@@ -67,6 +67,7 @@ func Fig9(seed uint64, runs int) (*Fig9Result, error) {
 // time (they coincide up to the final partial interval).
 func fig9Run(seed uint64, nodes int, multiEnclave, recurring bool) (sim.Time, error) {
 	w := sim.NewWorld(seed)
+	observeWorld(fmt.Sprintf("fig9/nodes=%d/multi=%v/recurring=%v/seed=%d", nodes, multiEnclave, recurring, seed), w)
 	costs := sim.DefaultCosts()
 	bar := cluster.NewAllreduce(nodes, fig9AllreduceNs)
 	results := make([]func() *insitu.Result, nodes)

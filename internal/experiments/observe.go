@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"xemem/internal/sim"
+	"xemem/internal/sim/trace"
+)
+
+// Observe, when non-nil, is invoked for every simulation world an
+// experiment constructs, with a label identifying the configuration the
+// world runs (e.g. "fig6/enclaves=2/size=1024MB"). Installing a
+// sim.Observer on the world — typically via trace.Set.Hook() — captures
+// that configuration's full event stream. Leave nil for zero overhead;
+// the simulated results are bit-identical either way. The hook is a
+// package variable because experiments construct their worlds
+// internally, one per configuration point; it is read once per world at
+// creation, not concurrency-safe to reassign mid-experiment.
+var Observe func(label string, w *sim.World)
+
+// observeWorld announces a freshly built experiment world to the
+// Observe hook.
+func observeWorld(label string, w *sim.World) {
+	if Observe != nil {
+		Observe(label, w)
+	}
+}
+
+// Breakdown renders, per traced configuration, where simulated time went:
+// the top operations by charged time, every resource's busy/wait profile,
+// and every receive queue's residency — the per-figure tables the
+// -metrics flag prints.
+func Breakdown(s *trace.Set) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-figure virtual-time breakdown (%d traced worlds)\n", len(s.Tracers()))
+	for _, t := range s.Tracers() {
+		b.WriteString(t.Summary())
+	}
+	return b.String()
+}

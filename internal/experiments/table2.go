@@ -44,6 +44,7 @@ func Table2(seed uint64, reps int) (*Table2Result, error) {
 	// Row 1: Kitten exports, native Linux attaches (Fig. 5's 1 GB point).
 	{
 		node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30})
+		observeWorld("table2/kitten-to-linux", node.World())
 		ck, err := node.BootCoKernel("kitten0", 2<<30)
 		if err != nil {
 			return nil, err
@@ -65,6 +66,7 @@ func Table2(seed uint64, reps int) (*Table2Result, error) {
 	// insertion.
 	{
 		node := xemem.NewNode(xemem.NodeConfig{Seed: seed + 1, MemBytes: 32 << 30})
+		observeWorld("table2/kitten-to-vm", node.World())
 		ck, err := node.BootCoKernel("kitten0", 2<<30)
 		if err != nil {
 			return nil, err
@@ -95,6 +97,7 @@ func Table2(seed uint64, reps int) (*Table2Result, error) {
 	// the Fig. 4(b) path, cheap memory-map walks.
 	{
 		node := xemem.NewNode(xemem.NodeConfig{Seed: seed + 2, MemBytes: 32 << 30})
+		observeWorld("table2/vm-to-kitten", node.World())
 		ck, err := node.BootCoKernel("kitten0", 4<<30)
 		if err != nil {
 			return nil, err

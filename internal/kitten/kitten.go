@@ -150,7 +150,7 @@ func (k *Kitten) ExportWalkCost(a *sim.Actor, pages uint64) {
 // MapRemote maps a remote frame list through the dynamic heap-extension
 // mechanism: a new fully populated region in the extension area.
 func (k *Kitten) MapRemote(a *sim.Actor, p *proc.Process, list extent.List, perm xproto.Perm) (*proc.Region, error) {
-	a.Advance(k.c.MmapRegionSetup)
+	a.Charge("mmap-setup", k.c.MmapRegionSetup)
 	k.core.Exec(a, sim.Time(list.Pages())*k.c.MapPerPageKitten, "xemem-attach")
 	return p.AS.AddRegion("xemem-remote", 0, list, permFlags(perm), false)
 }
@@ -165,7 +165,7 @@ func (k *Kitten) UnmapRemote(a *sim.Actor, p *proc.Process, r *proc.Region) erro
 // top-level-slot share instead of per-page mapping (§4.3 keeps SMARTMAP
 // for local processes).
 func (k *Kitten) AttachLocal(a *sim.Actor, seg *core.Segment, p *proc.Process, offPages, pages uint64, perm xproto.Perm) (*proc.Region, error) {
-	a.Advance(k.c.SmartmapAttach)
+	a.Charge("smartmap-attach", k.c.SmartmapAttach)
 	srcVA := seg.VA + pagetable.VA(offPages*extent.PageSize)
 	win, err := k.smap.Attach(p.AS.PageTable(), seg.Owner.AS.PageTable(), srcVA)
 	if err != nil {
@@ -189,7 +189,7 @@ func (k *Kitten) AttachLocal(a *sim.Actor, seg *core.Segment, p *proc.Process, o
 
 // DetachLocal releases a SMARTMAP window.
 func (k *Kitten) DetachLocal(a *sim.Actor, p *proc.Process, r *proc.Region) error {
-	a.Advance(k.c.SmartmapAttach)
+	a.Charge("smartmap-detach", k.c.SmartmapAttach)
 	if err := k.smap.Detach(p.AS.PageTable(), r.Base); err != nil {
 		return err
 	}

@@ -222,7 +222,7 @@ func (vm *VM) translateOut(a *sim.Actor, gpa extent.List) (extent.List, error) {
 			rem -= take
 		}
 	}
-	a.Advance(sim.Time(visits)*vm.c.RBVisit + sim.Time(gpa.Pages())*vm.c.PalaciosXlatePerPage)
+	a.Charge("gpa-xlate", sim.Time(visits)*vm.c.RBVisit+sim.Time(gpa.Pages())*vm.c.PalaciosXlatePerPage)
 	return out, nil
 }
 
@@ -278,7 +278,7 @@ func (vm *VM) importList(a *sim.Actor, host extent.List) (extent.List, error) {
 		}
 	}
 	vm.MapInserts += int(pages)
-	a.Advance(spent)
+	a.Charge("map-insert", spent)
 	vm.MapInsertTime += spent
 	vm.imports[extent.PFN(gpaFirst)] = rec
 	return extent.FromExtents(extent.Extent{First: extent.PFN(gpaFirst), Count: pages}), nil
@@ -321,7 +321,7 @@ func (vm *VM) ReleaseImport(a *sim.Actor, list extent.List) error {
 		}
 		delete(vm.imports, base)
 	}
-	a.Advance(spent)
+	a.Charge("map-remove", spent)
 	return nil
 }
 
@@ -398,11 +398,11 @@ func (l *pciLink) Send(a *sim.Actor, m *xproto.Message) {
 		}
 	}
 	buf := m.Encode()
-	a.Advance(sim.CopyTime(len(buf), c.PCICopyBW))
+	a.Charge("pci-copy", sim.CopyTime(len(buf), c.PCICopyBW))
 	if l.toGuest {
-		a.Advance(c.IRQInject) // raise a virtual IRQ on the device
+		a.Charge("irq-inject", c.IRQInject) // raise a virtual IRQ on the device
 	} else {
-		a.Advance(c.Hypercall) // trigger an exit into the host
+		a.Charge("hypercall", c.Hypercall) // trigger an exit into the host
 	}
 	l.in.Put(a, buf, l.peer)
 }

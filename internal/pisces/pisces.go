@@ -37,8 +37,8 @@ type link struct {
 func (l *link) Send(a *sim.Actor, m *xproto.Message) {
 	buf := m.Encode()
 	// The shared region admits one in-flight message at a time.
-	l.wire.Acquire(a, sim.CopyTime(len(buf), l.c.ChanBW))
-	a.Advance(l.c.IPILatency)
+	l.wire.AcquireOp(a, sim.CopyTime(len(buf), l.c.ChanBW), "chan-copy")
+	a.Charge("ipi", l.c.IPILatency)
 	l.in.Put(a, buf, l.peer)
 }
 

@@ -1,0 +1,86 @@
+package radix
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The 4-level, 512-way radix covers guest frame numbers of 36 bits;
+// fuzz keys are masked to that range (higher bits do not reach any
+// level's index, exactly as in a hardware page-table walk).
+const fuzzGFNMask = 1<<36 - 1
+
+// FuzzOps drives the radix map with an arbitrary insert/delete/lookup
+// stream, mirrors it in a flat map, and checks the page-table-shape
+// invariants: every operation visits exactly `levels` nodes (constant
+// depth is the whole point of the structure, §5.4), sizes agree, and
+// lookups translate exactly as the model says.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte("\x00AAAAAAAA\x02AAAAAAAA\x00AAAAAAAA\x01AAAAAAAA\x01AAAAAAAA"))
+	f.Add([]byte{})
+	seq := make([]byte, 0, 64*9)
+	for i := byte(0); i < 64; i++ {
+		rec := [9]byte{i % 3, i, i ^ 0xa5, 0, 0, 0, 0, 0, 0}
+		seq = append(seq, rec[:]...)
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := New()
+		model := make(map[uint64]uint64)
+		for len(data) >= 9 {
+			op := data[0] % 3
+			g := binary.LittleEndian.Uint64(data[1:9]) & fuzzGFNMask
+			data = data[9:]
+
+			switch op {
+			case 0: // insert
+				h := g ^ 0xfeedface
+				st, err := m.Insert(g, h)
+				if _, exists := model[g]; (err != nil) != exists {
+					t.Fatalf("Insert(%#x) err=%v, model has=%v", g, err, exists)
+				}
+				if st.Visits != levels {
+					t.Fatalf("Insert(%#x) visited %d nodes, want constant %d", g, st.Visits, levels)
+				}
+				if err == nil {
+					model[g] = h
+				}
+			case 1: // delete
+				_, err := m.Delete(g)
+				if _, exists := model[g]; (err == nil) != exists {
+					t.Fatalf("Delete(%#x) err=%v, model has=%v", g, err, exists)
+				}
+				delete(model, g)
+			case 2: // lookup
+				h, st, ok := m.Lookup(g)
+				want, exists := model[g]
+				if ok != exists || (ok && h != want) {
+					t.Fatalf("Lookup(%#x) = (%#x,%v), model (%#x,%v)", g, h, ok, want, exists)
+				}
+				if st.Visits > levels {
+					t.Fatalf("Lookup(%#x) visited %d nodes, want ≤%d", g, st.Visits, levels)
+				}
+			}
+
+			if m.Size() != len(model) {
+				t.Fatalf("size %d, model %d", m.Size(), len(model))
+			}
+		}
+
+		// Final sweep: every mapped frame still translates, and pruning
+		// left no stale translation behind for a re-probed missing key.
+		for g, h := range model {
+			got, _, ok := m.Lookup(g)
+			if !ok || got != h {
+				t.Fatalf("final Lookup(%#x) = (%#x,%v), want (%#x,true)", g, got, ok, h)
+			}
+			probe := (g ^ 1) & fuzzGFNMask
+			if _, exists := model[probe]; !exists {
+				if _, _, ok := m.Lookup(probe); ok {
+					t.Fatalf("Lookup(%#x) found a mapping the model does not have", probe)
+				}
+			}
+		}
+	})
+}

@@ -44,10 +44,10 @@ func (v *VF) Write(a *sim.Actor, n int) error {
 		return fmt.Errorf("rdma: write of %d bytes", n)
 	}
 	c := v.dev.c
-	a.Advance(c.RDMASetup)
+	a.Charge("rdma-setup", c.RDMASetup)
 	msgs := (n + c.RDMAMTU - 1) / c.RDMAMTU
 	wireTime := sim.Time(msgs)*c.RDMAMsgOverhead + sim.CopyTime(n, c.RDMABandwidth)
-	v.dev.wire.Acquire(a, wireTime)
+	v.dev.wire.AcquireOp(a, wireTime, "rdma-write")
 	return nil
 }
 

@@ -1,0 +1,256 @@
+package router
+
+// Table-driven hierarchical routing tests: whole topologies of routers
+// are built per case and message delivery is walked hop by hop, the way
+// the kernel actors forward in §3.2 — learned route if present,
+// default toward the name server otherwise.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"xemem/internal/sim"
+	"xemem/internal/xproto"
+)
+
+// edgeLink is a stub channel that knows which enclave it leads to, so a
+// test can follow a Route decision to the next hop.
+type edgeLink struct{ to xproto.EnclaveID }
+
+func (e edgeLink) Send(*sim.Actor, *xproto.Message) {}
+func (e edgeLink) String() string                   { return fmt.Sprintf("->%d", e.to) }
+
+// learnedRoute seeds one passive-learning fact: router `at` knows `dst`
+// is reachable via the link toward `via`.
+type learnedRoute struct{ at, dst, via xproto.EnclaveID }
+
+const ns = xproto.NameServerID
+
+func TestHierarchicalForwarding(t *testing.T) {
+	// All topologies are parent maps; the name server is the root.
+	chain := map[xproto.EnclaveID]xproto.EnclaveID{2: ns, 3: 2, 4: 3}
+	star := map[xproto.EnclaveID]xproto.EnclaveID{2: ns, 3: ns, 4: ns}
+	tree := map[xproto.EnclaveID]xproto.EnclaveID{2: ns, 3: ns, 4: 2, 5: 2}
+
+	// fullLearning derives what passive learning converges to: every
+	// ancestor knows each descendant via the child subtree it sits in.
+	fullLearning := func(parents map[xproto.EnclaveID]xproto.EnclaveID) []learnedRoute {
+		var out []learnedRoute
+		for d := range parents {
+			// Walk d's ancestor chain; each ancestor learned d via the
+			// previous hop on that chain.
+			hop := d
+			for {
+				p, ok := parents[hop]
+				if !ok {
+					p = ns
+				}
+				out = append(out, learnedRoute{at: p, dst: d, via: hop})
+				if p == ns {
+					break
+				}
+				hop = p
+			}
+		}
+		return out
+	}
+
+	cases := []struct {
+		name    string
+		parents map[xproto.EnclaveID]xproto.EnclaveID
+		learned []learnedRoute
+		dead    []xproto.EnclaveID
+		src     xproto.EnclaveID
+		dst     xproto.EnclaveID
+		// Expected node sequence after src; nil means undeliverable at
+		// the node named by failAt.
+		path   []xproto.EnclaveID
+		failAt xproto.EnclaveID
+	}{
+		{
+			name: "chain/down-three-hops", parents: chain,
+			learned: fullLearning(chain),
+			src:     ns, dst: 4, path: []xproto.EnclaveID{2, 3, 4},
+		},
+		{
+			name: "chain/up-is-default-route", parents: chain,
+			learned: fullLearning(chain),
+			src:     4, dst: ns, path: []xproto.EnclaveID{3, 2, ns},
+		},
+		{
+			name: "chain/sibling-free-turnaround", parents: chain,
+			// Only the NS has learned routes; an interior enclave must
+			// send everything unknown upward.
+			learned: []learnedRoute{{at: ns, dst: 4, via: 2}, {at: 2, dst: 4, via: 3}, {at: 3, dst: 4, via: 4}},
+			src:     3, dst: 4, path: []xproto.EnclaveID{4},
+		},
+		{
+			name: "star/up-then-down", parents: star,
+			learned: fullLearning(star),
+			src:     3, dst: 4, path: []xproto.EnclaveID{ns, 4},
+		},
+		{
+			name: "tree/cross-subtree", parents: tree,
+			learned: fullLearning(tree),
+			src:     5, dst: 3, path: []xproto.EnclaveID{2, ns, 3},
+		},
+		{
+			name: "tree/partial-learning-still-delivers", parents: tree,
+			// 4 never learned where its sibling 5 is: traffic takes the
+			// default route up, and the ancestors (which passively
+			// learned 5 from its ID allocation) turn it around.
+			learned: []learnedRoute{{at: ns, dst: 5, via: 2}, {at: 2, dst: 5, via: 5}},
+			src:     4, dst: 5, path: []xproto.EnclaveID{2, 5},
+		},
+		{
+			name: "chain/unknown-enclave-undeliverable-at-ns", parents: chain,
+			learned: fullLearning(chain),
+			src:     4, dst: 99, path: nil, failAt: ns,
+		},
+		{
+			name: "tree/detach-mid-route-drops-at-last-hop", parents: tree,
+			learned: fullLearning(tree),
+			dead:    []xproto.EnclaveID{4},
+			// The stale learned route still resolves at every live hop;
+			// the message dies at the detached enclave, not before.
+			src: ns, dst: 4, path: nil, failAt: 4,
+		},
+		{
+			name: "tree/detach-leaves-siblings-routable", parents: tree,
+			learned: fullLearning(tree),
+			dead:    []xproto.EnclaveID{4},
+			src:     3, dst: 5, path: []xproto.EnclaveID{ns, 2, 5},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			routers := map[xproto.EnclaveID]*Router{ns: New()}
+			routers[ns].SetSelf(ns)
+			for id, parent := range tc.parents {
+				r := New()
+				r.SetSelf(id)
+				r.SetNSLink(edgeLink{to: parent})
+				routers[id] = r
+			}
+			for _, l := range tc.learned {
+				routers[l.at].Learn(l.dst, edgeLink{to: l.via})
+			}
+			for _, id := range tc.dead {
+				delete(routers, id)
+			}
+
+			var got []xproto.EnclaveID
+			cur := tc.src
+			for hops := 0; hops < 16; hops++ {
+				r, alive := routers[cur]
+				if !alive {
+					if tc.path != nil || tc.failAt != cur {
+						t.Fatalf("message died at detached enclave %d, path so far %v", cur, got)
+					}
+					return
+				}
+				if cur == tc.dst {
+					break
+				}
+				link, ok := r.Route(tc.dst)
+				if !ok {
+					if tc.path != nil || tc.failAt != cur {
+						t.Fatalf("undeliverable at %d, path so far %v", cur, got)
+					}
+					return
+				}
+				cur = link.(edgeLink).to
+				got = append(got, cur)
+			}
+			if tc.path == nil {
+				t.Fatalf("expected failure at %d, but delivered via %v", tc.failAt, got)
+			}
+			if cur != tc.dst {
+				t.Fatalf("never reached %d: %v", tc.dst, got)
+			}
+			if !reflect.DeepEqual(got, tc.path) {
+				t.Fatalf("path %v, want %v", got, tc.path)
+			}
+		})
+	}
+}
+
+func TestHopTrackingSequences(t *testing.T) {
+	type op struct {
+		track   bool
+		reqID   uint64
+		via     xproto.EnclaveID
+		wantErr bool // for track
+		wantOK  bool // for take
+		wantVia xproto.EnclaveID
+	}
+	cases := []struct {
+		name string
+		ops  []op
+	}{
+		{"track-then-take", []op{
+			{track: true, reqID: 1, via: 2},
+			{track: false, reqID: 1, wantOK: true, wantVia: 2},
+		}},
+		{"duplicate-track-rejected", []op{
+			{track: true, reqID: 7, via: 2},
+			{track: true, reqID: 7, via: 3, wantErr: true},
+			{track: false, reqID: 7, wantOK: true, wantVia: 2},
+		}},
+		{"take-unknown", []op{
+			{track: false, reqID: 9, wantOK: false},
+		}},
+		{"take-consumes", []op{
+			{track: true, reqID: 4, via: 5},
+			{track: false, reqID: 4, wantOK: true, wantVia: 5},
+			{track: false, reqID: 4, wantOK: false},
+			// The ID is reusable after consumption (responses retire it).
+			{track: true, reqID: 4, via: 6},
+			{track: false, reqID: 4, wantOK: true, wantVia: 6},
+		}},
+		{"interleaved-requests", []op{
+			{track: true, reqID: 1, via: 2},
+			{track: true, reqID: 2, via: 3},
+			{track: false, reqID: 2, wantOK: true, wantVia: 3},
+			{track: false, reqID: 1, wantOK: true, wantVia: 2},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New()
+			for i, o := range tc.ops {
+				if o.track {
+					err := r.TrackHop(o.reqID, edgeLink{to: o.via})
+					if (err != nil) != o.wantErr {
+						t.Fatalf("op %d: TrackHop(%d) err=%v, wantErr=%v", i, o.reqID, err, o.wantErr)
+					}
+					continue
+				}
+				l, ok := r.TakeHop(o.reqID)
+				if ok != o.wantOK {
+					t.Fatalf("op %d: TakeHop(%d) ok=%v, want %v", i, o.reqID, ok, o.wantOK)
+				}
+				if ok && l.(edgeLink).to != o.wantVia {
+					t.Fatalf("op %d: TakeHop(%d) via %v, want ->%d", i, o.reqID, l, o.wantVia)
+				}
+			}
+		})
+	}
+}
+
+// TestLearnOverwrites: a newer response path supersedes the old route —
+// what happens when an enclave is destroyed and re-created behind a
+// different channel.
+func TestLearnOverwrites(t *testing.T) {
+	r := New()
+	r.Learn(6, edgeLink{to: 2})
+	r.Learn(6, edgeLink{to: 3})
+	if l, ok := r.Route(6); !ok || l.(edgeLink).to != 3 {
+		t.Fatalf("Route(6) = %v %v, want ->3", l, ok)
+	}
+	if len(r.KnownEnclaves()) != 1 {
+		t.Fatalf("relearning duplicated the entry: %v", r.KnownEnclaves())
+	}
+}

@@ -15,6 +15,9 @@ type Resource struct {
 	waited   Time // total queueing delay experienced by acquirers
 	acquires int
 	waits    int // acquisitions that had to queue
+	// queued counts acquirers currently waiting for the resource — the
+	// instantaneous queue depth the observer sees.
+	queued int
 }
 
 // NewResource returns an idle resource with the given diagnostic name.
@@ -27,21 +30,38 @@ func (r *Resource) Name() string { return r.name }
 // if the resource is busy. It returns the time at which the work actually
 // started. The actor's clock ends at start+d.
 func (r *Resource) Acquire(a *Actor, d Time) (start Time) {
+	return r.AcquireOp(a, d, "")
+}
+
+// AcquireOp is Acquire with an operation label for the observer: traces
+// attribute the occupancy (and any queueing delay) to op. The simulated
+// outcome is identical to Acquire.
+func (r *Resource) AcquireOp(a *Actor, d Time, op string) (start Time) {
 	r.acquires++
+	arrival := a.now
+	depth := 0
 	waitedHere := false
 	// Re-check after every advance: while we were queued, a later-queued
 	// actor cannot have overtaken us (the scheduler dispatches in global
 	// time order), but an earlier one may have extended nextFree.
 	for r.nextFree > a.now {
-		waitedHere = true
+		if !waitedHere {
+			waitedHere = true
+			r.queued++
+			depth = r.queued
+		}
 		delta := r.nextFree - a.now
 		r.waited += delta
 		a.Advance(delta)
 	}
 	if waitedHere {
+		r.queued--
 		r.waits++
 	}
 	start = a.now
+	if obs := a.w.obs; obs != nil {
+		obs.AcquireRes(r, a, op, arrival, start, d, depth)
+	}
 	r.nextFree = start + d
 	r.busy += d
 	a.Advance(d)
@@ -55,6 +75,9 @@ func (r *Resource) TryAcquire(a *Actor, d Time) bool {
 		return false
 	}
 	r.acquires++
+	if obs := a.w.obs; obs != nil {
+		obs.AcquireRes(r, a, "", a.now, a.now, d, 0)
+	}
 	r.nextFree = a.now + d
 	r.busy += d
 	a.Advance(d)
@@ -117,7 +140,7 @@ func (c *Core) StopRecording() []Span {
 // other occupants, and logs the span when recording. tag identifies the
 // kind of work (e.g. "app", "xemem-serve", "smi").
 func (c *Core) Exec(a *Actor, d Time, tag string) (start Time) {
-	start = c.Acquire(a, d)
+	start = c.AcquireOp(a, d, tag)
 	if c.record {
 		c.log = append(c.log, Span{Start: start, Dur: d, Tag: tag})
 	}

@@ -42,6 +42,10 @@ type World struct {
 	// Trace, if non-nil, receives a line per scheduling decision. Used by
 	// tests; nil in normal runs.
 	Trace func(format string, args ...any)
+
+	// obs, if non-nil, receives observability events (see Observer). It
+	// never influences scheduling or clocks.
+	obs Observer
 }
 
 // NewWorld returns an empty world whose RNG streams derive from seed.
@@ -181,6 +185,9 @@ func (w *World) dispatch(next *Actor) {
 	}
 	if w.Trace != nil {
 		w.Trace("t=%v run %s", w.now, next.name)
+	}
+	if w.obs != nil {
+		w.obs.Dispatch(next, w.now)
 	}
 }
 

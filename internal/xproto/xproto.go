@@ -229,6 +229,12 @@ type Link interface {
 type Delivery struct {
 	Buf []byte
 	Via Link
+	// At is the virtual time the delivery entered the inbox; the dequeue
+	// reports the enqueue→dequeue delay to the world's observer. This is
+	// the §5.3 funnel made measurable: with a single kernel worker, every
+	// cross-enclave message serializes behind the core-0 handler, and
+	// that serialization shows up as inbox residency, not resource wait.
+	At sim.Time
 }
 
 // Inbox is a kernel's receive queue. Channel implementations Put into it;
@@ -247,7 +253,7 @@ func NewInbox(name string) *Inbox { return &Inbox{name: name} }
 // Put enqueues an encoded message and wakes one waiting kernel actor, if
 // any. The caller is the sending/forwarding actor.
 func (in *Inbox) Put(a *sim.Actor, buf []byte, via Link) {
-	in.q = append(in.q, Delivery{Buf: buf, Via: via})
+	in.q = append(in.q, Delivery{Buf: buf, Via: via, At: a.Now()})
 	if n := len(in.waiters); n > 0 {
 		w := in.waiters[0]
 		in.waiters = in.waiters[1:]
@@ -276,6 +282,11 @@ func (in *Inbox) Get(a *sim.Actor) Delivery {
 	}
 	d := in.q[0]
 	in.q = in.q[1:]
+	if d.Buf != nil {
+		if obs := a.World().Observer(); obs != nil {
+			obs.QueueWait("inbox:"+in.name, a, d.At, a.Now(), len(in.q))
+		}
+	}
 	return d
 }
 
