@@ -17,9 +17,12 @@ build:
 # and the tracer (invoked from every dispatch) are the
 # concurrency-sensitive parts: run their packages under the race
 # detector explicitly, plus the trace-enabled experiment suites.
+# TestParallelIdentity is the parallel sweep run under -race: every
+# figure at 1, 2, and NumCPU workers with concurrent tracer
+# registration, held byte-identical to the serial runner.
 race:
-	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem
-	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain'
+	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem ./internal/experiments/sweep
+	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain|TestParallel'
 
 test:
 	$(GO) test ./...
@@ -41,6 +44,8 @@ cover:
 		echo "coverage $$total% is below the $$floor% floor"; exit 1; \
 	fi
 
-# Engine fast-path benchmark: writes BENCH_engine.json.
+# Engine fast-path benchmark (BENCH_engine.json) and sweep benchmark:
+# serial vs parallel wall-clock plus hot-path allocs/op (BENCH_sweep.json).
 bench:
 	$(GO) run ./cmd/xemem-bench -json
+	$(GO) run ./cmd/xemem-bench -sweep-json

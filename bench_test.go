@@ -26,7 +26,7 @@ import (
 func BenchmarkFig5AttachVsRDMA(b *testing.B) {
 	var last *experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig5(uint64(i+1), 50)
+		res, err := experiments.Fig5(uint64(i+1), 50, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func BenchmarkFig5AttachVsRDMA(b *testing.B) {
 func BenchmarkFig6EnclaveScaling(b *testing.B) {
 	var last *experiments.Fig6Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6(uint64(i+1), 30)
+		res, err := experiments.Fig6(uint64(i+1), 30, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func BenchmarkFig6EnclaveScaling(b *testing.B) {
 func BenchmarkTable2VMThroughput(b *testing.B) {
 	var last *experiments.Table2Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(uint64(i+1), 5)
+		res, err := experiments.Table2(uint64(i+1), 5, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +84,7 @@ func BenchmarkTable2VMThroughput(b *testing.B) {
 func BenchmarkFig7NoiseProfile(b *testing.B) {
 	var last *experiments.Fig7Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig7(uint64(i + 1))
+		res, err := experiments.Fig7(uint64(i+1), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +106,7 @@ func BenchmarkFig7NoiseProfile(b *testing.B) {
 func BenchmarkFig8Composed(b *testing.B) {
 	var last *experiments.Fig8Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig8(uint64(i+1), 1)
+		res, err := experiments.Fig8(uint64(i+1), 1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func BenchmarkFig8Composed(b *testing.B) {
 func BenchmarkFig9WeakScaling(b *testing.B) {
 	var last *experiments.Fig9Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9(uint64(i+1), 1)
+		res, err := experiments.Fig9(uint64(i+1), 1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,6 +129,74 @@ func BenchmarkFig9WeakScaling(b *testing.B) {
 	}
 	b.ReportMetric(last.Cell(8, false, false).MeanS, "sim-linuxonly-8node-s")
 	b.ReportMetric(last.Cell(8, true, false).MeanS, "sim-multienclave-8node-s")
+}
+
+// --- Allocation-diet benchmarks ------------------------------------------
+
+// BenchmarkAttach1GB measures the host cost of the attach hot path — the
+// serve walk, frame-list transfer, and batched map install for a 1 GB
+// cross-enclave attachment — with allocations reported so the diet
+// (slab frame backing, recycled wire buffers, batched map ops) is
+// regression-visible.
+func BenchmarkAttach1GB(b *testing.B) {
+	node := xemem.NewNode(xemem.NodeConfig{Seed: 5, MemBytes: 32 << 30, LinuxCores: 4})
+	ck, err := node.BootCoKernel("kitten0", 2<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	expSess, heap, err := node.KittenProcess(ck, "exporter", 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attSess, _ := node.LinuxProcess("attacher", 1)
+	const bytes = uint64(1) << 30
+	b.ReportAllocs()
+	node.Spawn("attach-bench", func(a *sim.Actor) {
+		segid, err := expSess.Make(a, heap.Base, bytes, xpmem.PermRead|xpmem.PermWrite, "")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		apid, err := attSess.Get(a, segid, xpmem.PermRead)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			va, err := attSess.Attach(a, segid, apid, 0, bytes, xpmem.PermRead)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			// Detach between reps so every serve re-walks (detach
+			// invalidates the frame-list cache): the benchmark measures
+			// the walk and map paths, not the cache.
+			if err := attSess.Detach(a, va); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if err := node.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig9Cell measures one Figure 9 sweep cell — a full 2-node
+// multi-enclave composed run — the unit of work the parallel runner
+// distributes across cores.
+func BenchmarkFig9Cell(b *testing.B) {
+	b.ReportAllocs()
+	var last sim.Time
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig9Run(uint64(i+1), 2, true, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(float64(last)/1e9, "sim-completion-s")
 }
 
 // --- Ablations (DESIGN.md §4) -------------------------------------------

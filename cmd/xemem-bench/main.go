@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"xemem/internal/experiments"
@@ -26,6 +27,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	fast := flag.Bool("fast", false, "reduced repetition counts for quick runs")
 	jsonOut := flag.Bool("json", false, "run the engine benchmark and write BENCH_engine.json (host wall-clock of the fast paths vs their reference implementations)")
+	sweepJSON := flag.Bool("sweep-json", false, "run the sweep benchmark and write BENCH_sweep.json (serial vs parallel wall-clock, allocs/op on the hot paths)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the figure sweeps (1 = serial runner; results are byte-identical at any value)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of every simulated world to this file (open in chrome://tracing or Perfetto; combine with -fast)")
 	metricsOut := flag.String("metrics", "", "write per-world contention metrics JSON to this file and print the per-figure breakdown tables")
 	flag.Parse()
@@ -34,7 +37,9 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		set = trace.NewSet()
 		set.SetKeepEvents(*traceOut != "") // metrics-only runs keep memory flat
-		experiments.Observe = set.Hook()
+		// The cell-aware hook keeps trace export order independent of the
+		// worker count.
+		experiments.ObserveCell = set.CellHook()
 	}
 	exportTraces := func() {
 		if set == nil {
@@ -76,6 +81,17 @@ func main() {
 		return
 	}
 
+	if *sweepJSON {
+		res, err := experiments.SweepBench(*seed, "BENCH_sweep.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Println("wrote BENCH_sweep.json")
+		return
+	}
+
 	reps5, reps6, t2reps, runs8, runs9 := 500, 500, 20, 10, 5
 	if *fast {
 		reps5, reps6, t2reps, runs8, runs9 = 50, 50, 5, 3, 3
@@ -95,22 +111,22 @@ func main() {
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	if want("fig5") {
-		run("fig5", func() (fmt.Stringer, error) { return experiments.Fig5(*seed, reps5) })
+		run("fig5", func() (fmt.Stringer, error) { return experiments.Fig5(*seed, reps5, *parallel) })
 	}
 	if want("fig6") {
-		run("fig6", func() (fmt.Stringer, error) { return experiments.Fig6(*seed, reps6) })
+		run("fig6", func() (fmt.Stringer, error) { return experiments.Fig6(*seed, reps6, *parallel) })
 	}
 	if want("table2") {
-		run("table2", func() (fmt.Stringer, error) { return experiments.Table2(*seed, t2reps) })
+		run("table2", func() (fmt.Stringer, error) { return experiments.Table2(*seed, t2reps, *parallel) })
 	}
 	if want("fig7") {
-		run("fig7", func() (fmt.Stringer, error) { return experiments.Fig7(*seed) })
+		run("fig7", func() (fmt.Stringer, error) { return experiments.Fig7(*seed, *parallel) })
 	}
 	if want("fig8") {
-		run("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(*seed, runs8) })
+		run("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(*seed, runs8, *parallel) })
 	}
 	if want("fig9") {
-		run("fig9", func() (fmt.Stringer, error) { return experiments.Fig9(*seed, runs9) })
+		run("fig9", func() (fmt.Stringer, error) { return experiments.Fig9(*seed, runs9, *parallel) })
 	}
 	switch *exp {
 	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "table2":

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"xemem/internal/experiments"
 	"xemem/internal/sim/trace"
@@ -25,6 +26,7 @@ func main() {
 	sync := flag.Bool("sync", false, "synchronous execution model (default asynchronous)")
 	recurring := flag.Bool("recurring", false, "recurring attachment model (default one-time)")
 	runs := flag.Int("runs", 3, "repetitions (mean ± stddev reported)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the repetitions (1 = serial runner; results are byte-identical at any value)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of every run to this file (open in chrome://tracing or Perfetto)")
 	metricsOut := flag.String("metrics", "", "write per-run contention metrics JSON to this file and print the breakdown tables")
@@ -34,7 +36,9 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		set = trace.NewSet()
 		set.SetKeepEvents(*traceOut != "")
-		experiments.Observe = set.Hook()
+		// The cell-aware hook keeps trace export order independent of the
+		// worker count.
+		experiments.ObserveCell = set.CellHook()
 	}
 
 	names := map[string]experiments.Fig8Config{
@@ -49,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := experiments.Fig8Single(*seed, cfg, *sync, *recurring, *runs)
+	res, err := experiments.Fig8Single(*seed, cfg, *sync, *recurring, *runs, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

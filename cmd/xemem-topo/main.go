@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"xemem"
 	"xemem/internal/core"
+	"xemem/internal/experiments/sweep"
 	"xemem/internal/pagetable"
 	"xemem/internal/palacios"
 	"xemem/internal/pisces"
@@ -43,6 +45,7 @@ func main() {
 	spec := flag.String("spec", "kitten,kitten(vm,vm),vm", "topology spec (see doc comment)")
 	demo := flag.Bool("demo", true, "run a shared-memory exchange between the first and last enclaves")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "boot this many replica worlds of the same spec concurrently and assert they bootstrap identically (1 disables the check)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the bootstrap and demo to this file (open in chrome://tracing or Perfetto)")
 	metricsOut := flag.String("metrics", "", "write contention metrics JSON to this file and print the breakdown table")
 	flag.Parse()
@@ -54,8 +57,65 @@ func main() {
 		set.SetKeepEvents(*traceOut != "")
 		node.World().SetObserver(set.Get(fmt.Sprintf("topo/%s", *spec)))
 	}
-	var enclaves []*enclave
+	enclaves, err := buildTopology(node, *spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
+	if *demo && len(enclaves) >= 2 {
+		runDemo(node, enclaves[0], enclaves[len(enclaves)-1])
+	} else {
+		node.Spawn("settle", func(a *sim.Actor) { a.Advance(sim.Millisecond) })
+		if err := node.Run(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("Topology %q: %d enclaves plus the management enclave\n\n", *spec, len(enclaves))
+	fmt.Print(fingerprint(node, enclaves))
+
+	if *parallel > 1 {
+		if err := replicaCheck(*seed, *spec, *parallel, fingerprint(node, enclaves)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nDeterminism check: %d replica worlds bootstrapped identically (%d workers)\n",
+			*parallel, sweep.Workers(*parallel))
+	}
+
+	if set != nil {
+		if *metricsOut != "" {
+			fmt.Println()
+			fmt.Print(set.Tracers()[0].Summary())
+		}
+		write := func(path string, fn func(*os.File) error) {
+			f, err := os.Create(path)
+			if err == nil {
+				err = fn(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *traceOut != "" {
+			write(*traceOut, func(f *os.File) error { return set.WriteChromeTrace(f) })
+		}
+		if *metricsOut != "" {
+			write(*metricsOut, func(f *os.File) error { return set.WriteMetricsJSON(f) })
+		}
+	}
+}
+
+// buildTopology boots the spec's enclave tree under node's management
+// enclave, returning the enclaves in spec order.
+func buildTopology(node *xemem.Node, spec string) ([]*enclave, error) {
+	var enclaves []*enclave
 	var counter int
 	var build func(spec string, parentKitten *pisces.CoKernel) error
 	build = func(spec string, parentKitten *pisces.CoKernel) error {
@@ -109,58 +169,62 @@ func main() {
 		}
 		return nil
 	}
-	if err := build(*spec, nil); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if err := build(spec, nil); err != nil {
+		return nil, err
 	}
+	return enclaves, nil
+}
 
-	if *demo && len(enclaves) >= 2 {
-		runDemo(node, enclaves[0], enclaves[len(enclaves)-1])
-	} else {
-		node.Spawn("settle", func(a *sim.Actor) { a.Advance(sim.Millisecond) })
-		if err := node.Run(); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	fmt.Printf("Topology %q: %d enclaves plus the management enclave\n\n", *spec, len(enclaves))
-	fmt.Println("Enclave IDs (name-server allocated):")
-	fmt.Printf("  %-16s enclave %d (name server)\n", node.LinuxModule().Name(), node.LinuxModule().EnclaveID())
+// fingerprint renders the bootstrap outcome — enclave IDs and routing
+// tables — as the text the determinism check compares across replicas.
+func fingerprint(node *xemem.Node, enclaves []*enclave) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Enclave IDs (name-server allocated):\n")
+	fmt.Fprintf(&b, "  %-16s enclave %d (name server)\n", node.LinuxModule().Name(), node.LinuxModule().EnclaveID())
 	for _, e := range enclaves {
-		fmt.Printf("  %-16s enclave %d\n", e.mod.Name(), e.mod.EnclaveID())
+		fmt.Fprintf(&b, "  %-16s enclave %d\n", e.mod.Name(), e.mod.EnclaveID())
 	}
-	fmt.Println("\nRouting tables:")
-	fmt.Printf("  %s\n", node.LinuxModule().R.RouteTable())
+	fmt.Fprintf(&b, "\nRouting tables:\n")
+	fmt.Fprintf(&b, "  %s\n", node.LinuxModule().R.RouteTable())
 	for _, e := range enclaves {
-		fmt.Printf("  %s\n", e.mod.R.RouteTable())
+		fmt.Fprintf(&b, "  %s\n", e.mod.R.RouteTable())
 	}
+	return b.String()
+}
 
-	if set != nil {
-		if *metricsOut != "" {
-			fmt.Println()
-			fmt.Print(set.Tracers()[0].Summary())
-		}
-		write := func(path string, fn func(*os.File) error) {
-			f, err := os.Create(path)
-			if err == nil {
-				err = fn(f)
-				if cerr := f.Close(); err == nil {
-					err = cerr
+// replicaCheck boots replicas fresh worlds of the same (seed, spec)
+// concurrently via the sweep runner and verifies every one bootstraps to
+// the same fingerprint as the interactive world.
+func replicaCheck(seed uint64, spec string, replicas int, want string) error {
+	cells := make([]sweep.Cell[string], replicas)
+	for i := range cells {
+		i := i
+		cells[i] = sweep.Cell[string]{
+			Label: fmt.Sprintf("topo replica %d", i),
+			Run: func() (string, error) {
+				n := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 16 << 30})
+				encl, err := buildTopology(n, spec)
+				if err != nil {
+					return "", err
 				}
-			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n", path)
-		}
-		if *traceOut != "" {
-			write(*traceOut, func(f *os.File) error { return set.WriteChromeTrace(f) })
-		}
-		if *metricsOut != "" {
-			write(*metricsOut, func(f *os.File) error { return set.WriteMetricsJSON(f) })
+				n.Spawn("settle", func(a *sim.Actor) { a.Advance(sim.Millisecond) })
+				if err := n.Run(); err != nil {
+					return "", err
+				}
+				return fingerprint(n, encl), nil
+			},
 		}
 	}
+	got, err := sweep.Run(cells, replicas)
+	if err != nil {
+		return err
+	}
+	for i, fp := range got {
+		if fp != want {
+			return fmt.Errorf("replica %d bootstrapped differently from the interactive world:\n%s", i, fp)
+		}
+	}
+	return nil
 }
 
 // runDemo exports from src and attaches from dst, whatever kinds they are.

@@ -377,6 +377,9 @@ func (m *Module) receiveOn(a *sim.Actor, core *sim.Core) (*xproto.Message, xprot
 	m.Stats.MsgsReceived++
 	core.Exec(a, m.c.IPIHandler+sim.CopyTime(len(d.Buf), m.c.ChanBW), "xemem-msg")
 	msg, err := xproto.Decode(d.Buf)
+	// Decode copies every variable-length field, so the wire buffer is
+	// dead either way — hand it back to this inbox's senders.
+	m.In.Recycle(d.Buf)
 	if err != nil {
 		m.Stats.DecodeErrors++
 		return nil, nil, false

@@ -3,11 +3,14 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"xemem"
+	"xemem/internal/experiments/sweep"
 	"xemem/internal/proc"
 	"xemem/internal/sim"
 	"xemem/internal/xpmem"
@@ -33,6 +36,14 @@ type EngineBenchResult struct {
 	AttachSpeedup  float64 `json:"attach_speedup"`
 
 	Fig9SweepNs float64 `json:"fig9_sweep_ns_per_run"`
+
+	// The Fig. 9 sweep again, through the parallel sweep runner: serial
+	// (workers=1) vs one worker per host core. Simulated results are
+	// byte-identical; only host wall-clock changes.
+	SweepWorkers    int     `json:"sweep_workers"`
+	SweepSerialNs   float64 `json:"sweep_serial_ns"`
+	SweepParallelNs float64 `json:"sweep_parallel_ns"`
+	SweepSpeedup    float64 `json:"sweep_speedup"`
 }
 
 // EngineBench measures the engine fast paths against their retained
@@ -52,16 +63,16 @@ func EngineBench(seed uint64, jsonPath string) (*EngineBenchResult, error) {
 	}
 
 	// Each scheduler run is short (~0.5 s), so take the best of a few
-	// trials per mode: the minimum is the least-noise estimate of the
-	// actual dispatch cost.
+	// trials per mode. Min-tracking starts from +Inf (never from trial
+	// zero's sentinel value) so the loop cannot mistake an uninitialized
+	// field for a measurement.
 	const trials = 3
+	res.SchedulerHeapNs, res.SchedulerLinearNs = math.MaxFloat64, math.MaxFloat64
 	for i := 0; i < trials; i++ {
-		heapNs := schedulerBench(seed, actors, steps, false)
-		if i == 0 || heapNs < res.SchedulerHeapNs {
+		if heapNs := schedulerBench(seed, actors, steps, false); heapNs < res.SchedulerHeapNs {
 			res.SchedulerHeapNs = heapNs
 		}
-		linearNs := schedulerBench(seed, actors, steps, true)
-		if i == 0 || linearNs < res.SchedulerLinearNs {
+		if linearNs := schedulerBench(seed, actors, steps, true); linearNs < res.SchedulerLinearNs {
 			res.SchedulerLinearNs = linearNs
 		}
 	}
@@ -84,10 +95,27 @@ func EngineBench(seed uint64, jsonPath string) (*EngineBenchResult, error) {
 	}
 
 	start := time.Now()
-	if _, err := Fig9(seed, 1); err != nil {
+	if _, err := Fig9(seed, 1, 1); err != nil {
 		return nil, err
 	}
 	res.Fig9SweepNs = float64(time.Since(start).Nanoseconds())
+
+	// The same sweep through the parallel runner: serial reference, then
+	// one worker per host core.
+	res.SweepWorkers = sweep.Workers(0)
+	start = time.Now()
+	if _, err := Fig9(seed, 1, 1); err != nil {
+		return nil, err
+	}
+	res.SweepSerialNs = float64(time.Since(start).Nanoseconds())
+	start = time.Now()
+	if _, err := Fig9(seed, 1, res.SweepWorkers); err != nil {
+		return nil, err
+	}
+	res.SweepParallelNs = float64(time.Since(start).Nanoseconds())
+	if res.SweepParallelNs > 0 {
+		res.SweepSpeedup = res.SweepSerialNs / res.SweepParallelNs
+	}
 
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(res, "", "  ")
@@ -101,15 +129,22 @@ func EngineBench(seed uint64, jsonPath string) (*EngineBenchResult, error) {
 	return res, nil
 }
 
-// schedulerBench times pure dispatch over a mixed-clock actor pool. Each
-// actor advances by its own pseudorandom strides, so the ready queue is
+// schedulerBench times pure dispatch over a mixed-clock actor pool,
+// reporting host ns and heap allocations per dispatch. Each actor
+// advances by its own pseudorandom strides, so the ready queue is
 // constantly reordered — the worst case for the scan, the common case for
 // the heap.
 func schedulerBench(seed uint64, actors, steps int, linear bool) float64 {
+	ns, _ := schedulerBenchAllocs(seed, actors, steps, linear)
+	return ns
+}
+
+func schedulerBenchAllocs(seed uint64, actors, steps int, linear bool) (nsPerOp, allocsPerOp float64) {
 	w := sim.NewWorld(seed)
 	if linear {
 		w.SetLinearScan(true)
 	}
+	w.Reserve(actors)
 	for i := 0; i < actors; i++ {
 		w.Spawn(fmt.Sprintf("a%d", i), func(a *sim.Actor) {
 			r := a.RNG()
@@ -118,11 +153,16 @@ func schedulerBench(seed uint64, actors, steps int, linear bool) float64 {
 			}
 		})
 	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	if err := w.Run(); err != nil {
 		panic(err) // a pure advance loop cannot deadlock
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(actors*steps)
+	elapsed := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	ops := float64(actors * steps)
+	return float64(elapsed) / ops, float64(after.Mallocs-before.Mallocs) / ops
 }
 
 // attachBench times the host cost of serving and mapping a whole-segment
@@ -130,23 +170,29 @@ func schedulerBench(seed uint64, actors, steps int, linear bool) float64 {
 // measured around the Attach call only so enclave boot stays out of the
 // number. legacy selects the original per-page demand-population loop.
 func attachBench(seed uint64, reps int, legacy bool) (float64, error) {
+	ns, _, err := attachBenchAllocs(seed, reps, legacy)
+	return ns, err
+}
+
+func attachBenchAllocs(seed uint64, reps int, legacy bool) (nsPerOp, allocsPerOp float64, err error) {
 	proc.SetLegacyPerPageOps(legacy)
 	defer proc.SetLegacyPerPageOps(false)
 
 	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30, LinuxCores: 4})
 	ck, err := node.BootCoKernel("kitten0", 2<<30)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	expSess, heap, err := node.KittenProcess(ck, "exporter", 1<<30)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	attSess, _ := node.LinuxProcess("attacher", 1)
 
 	const bytes = uint64(1) << 30
 	var runErr error
 	var hostNs int64
+	var mallocs uint64
 	node.Spawn("attach-bench", func(a *sim.Actor) {
 		segid, err := expSess.Make(a, heap.Base, bytes, xpmem.PermRead|xpmem.PermWrite, "")
 		if err != nil {
@@ -158,10 +204,14 @@ func attachBench(seed uint64, reps int, legacy bool) (float64, error) {
 			runErr = err
 			return
 		}
+		var before, after runtime.MemStats
 		for i := 0; i < reps; i++ {
+			runtime.ReadMemStats(&before)
 			start := time.Now()
 			va, err := attSess.Attach(a, segid, apid, 0, bytes, xpmem.PermRead)
 			hostNs += time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&after)
+			mallocs += after.Mallocs - before.Mallocs
 			if err != nil {
 				runErr = err
 				return
@@ -176,12 +226,12 @@ func attachBench(seed uint64, reps int, legacy bool) (float64, error) {
 		}
 	})
 	if err := node.Run(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if runErr != nil {
-		return 0, runErr
+		return 0, 0, runErr
 	}
-	return float64(hostNs) / float64(reps), nil
+	return float64(hostNs) / float64(reps), float64(mallocs) / float64(reps), nil
 }
 
 // String renders the benchmark for the terminal.
@@ -195,5 +245,7 @@ func (r *EngineBenchResult) String() string {
 	fmt.Fprintf(&b, "    batched  %12.0f ns/attach\n", r.AttachFastNs)
 	fmt.Fprintf(&b, "    per-page %12.0f ns/attach   (%.2fx speedup)\n", r.AttachLegacyNs, r.AttachSpeedup)
 	fmt.Fprintf(&b, "  fig9 sweep: %.2f s/run\n", r.Fig9SweepNs/1e9)
+	fmt.Fprintf(&b, "  fig9 sweep via runner: serial %.2f s, %d workers %.2f s   (%.2fx speedup)\n",
+		r.SweepSerialNs/1e9, r.SweepWorkers, r.SweepParallelNs/1e9, r.SweepSpeedup)
 	return b.String()
 }

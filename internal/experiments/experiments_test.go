@@ -11,7 +11,7 @@ import (
 )
 
 func TestFig5Shape(t *testing.T) {
-	res, err := Fig5(1, 25)
+	res, err := Fig5(1, 25, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	res, err := Fig6(1, 40)
+	res, err := Fig6(1, 40, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	res, err := Table2(1, 5)
+	res, err := Table2(1, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	res, err := Fig7(1)
+	res, err := Fig7(1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestFig8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("composed benchmark sweep")
 	}
-	res, err := Fig8(1, 4)
+	res, err := Fig8(1, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestFig9Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-node sweep")
 	}
-	res, err := Fig9(1, 3)
+	res, err := Fig9(1, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

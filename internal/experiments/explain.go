@@ -52,21 +52,19 @@ func (e *Fig6Explanation) Coverage() float64 {
 }
 
 // Fig6Explain reruns the Figure 6 szMB point at 1 and 2 enclaves with a
-// metrics-only tracer attached and decomposes the latency dip. It
-// temporarily claims the package Observe hook (restoring the previous
-// value), so it must not run concurrently with other experiments.
+// metrics-only tracer attached and decomposes the latency dip. The
+// tracers are threaded per world, so it neither touches the package
+// Observe hooks nor conflicts with a concurrent sweep.
 func Fig6Explain(seed uint64, szMB, reps int) (*Fig6Explanation, error) {
 	if reps <= 0 {
 		reps = 20
 	}
-	saved := Observe
-	defer func() { Observe = saved }()
 
 	run := func(enclaves int) (sim.Time, *trace.Tracer, error) {
 		tr := trace.NewTracer(fmt.Sprintf("fig6/enclaves=%d/size=%dMB", enclaves, szMB))
 		tr.SetKeepEvents(false)
-		Observe = func(label string, w *sim.World) { w.SetObserver(tr) }
-		_, meanAttach, _, err := fig6Point(seed, enclaves, szMB, reps)
+		obs := func(label string, w *sim.World) { w.SetObserver(tr) }
+		_, meanAttach, _, err := fig6Point(obs, seed, enclaves, szMB, reps)
 		if err != nil {
 			return 0, nil, err
 		}

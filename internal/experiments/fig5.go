@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xemem"
+	"xemem/internal/experiments/sweep"
 	"xemem/internal/extent"
 	"xemem/internal/rdma"
 	"xemem/internal/sim"
@@ -31,16 +32,48 @@ type Fig5Result struct {
 // 128 MB–1 GB; a native Linux process attaches each region reps times
 // (the paper uses 500), once timing the attachment alone and once
 // including a full read-out; the RDMA column runs the write bandwidth
-// test between two VMs with SR-IOV virtual functions.
-func Fig5(seed uint64, reps int) (*Fig5Result, error) {
+// test between two VMs with SR-IOV virtual functions. The two worlds
+// (attach node, RDMA baseline) are independent sweep cells executed on
+// workers host goroutines (<= 0 selects GOMAXPROCS, 1 reproduces the
+// serial runner exactly).
+func Fig5(seed uint64, reps, workers int) (*Fig5Result, error) {
 	if reps <= 0 {
 		reps = 500
 	}
 	res := &Fig5Result{Reps: reps}
 	sizes := []int{128, 256, 512, 1024}
 
+	type out struct {
+		rows []Fig5Row
+		rdma []float64
+	}
+	obsMain, obsRDMA := cellObserve(0), cellObserve(1)
+	cells := []sweep.Cell[out]{
+		{Label: "fig5", Run: func() (out, error) {
+			rows, err := fig5Attach(obsMain, seed, sizes, reps)
+			return out{rows: rows}, err
+		}},
+		{Label: "fig5/rdma", Run: func() (out, error) {
+			bw, err := fig5RDMA(obsRDMA, seed+1, sizes)
+			return out{rdma: bw}, err
+		}},
+	}
+	outs, err := sweep.Run(cells, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = outs[0].rows
+	for i := range res.Rows {
+		res.Rows[i].RDMAGBs = outs[1].rdma[i]
+	}
+	return res, nil
+}
+
+// fig5Attach runs the XEMEM attach world: per size, the attach-only and
+// attach+read throughputs.
+func fig5Attach(obs observeFn, seed uint64, sizes []int, reps int) ([]Fig5Row, error) {
 	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30, LinuxCores: 4})
-	observeWorld("fig5", node.World())
+	announce(obs, "fig5", node.World())
 	ck, err := node.BootCoKernel("kitten0", 2<<30)
 	if err != nil {
 		return nil, err
@@ -52,6 +85,7 @@ func Fig5(seed uint64, reps int) (*Fig5Result, error) {
 	attSess, _ := node.LinuxProcess("attacher", 1)
 	costs := node.Costs()
 
+	var rows []Fig5Row
 	var runErr error
 	node.Spawn("fig5", func(a *sim.Actor) {
 		for _, szMB := range sizes {
@@ -103,7 +137,7 @@ func Fig5(seed uint64, reps int) (*Fig5Result, error) {
 				runErr = err
 				return
 			}
-			res.Rows = append(res.Rows, Fig5Row{SizeMB: szMB, AttachGBs: attachBW / 1e9, AttachReadGBs: readBW / 1e9})
+			rows = append(rows, Fig5Row{SizeMB: szMB, AttachGBs: attachBW / 1e9, AttachReadGBs: readBW / 1e9})
 		}
 	})
 	if err := node.Run(); err != nil {
@@ -112,11 +146,14 @@ func Fig5(seed uint64, reps int) (*Fig5Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	return rows, nil
+}
 
-	// RDMA baseline: its own world — a bandwidth test between two KVM
-	// virtual machines, each owning one virtual function (§5.2).
-	w := sim.NewWorld(seed + 1)
-	observeWorld("fig5/rdma", w)
+// fig5RDMA runs the RDMA baseline: a bandwidth test between two KVM
+// virtual machines, each owning one virtual function (§5.2).
+func fig5RDMA(obs observeFn, seed uint64, sizes []int) ([]float64, error) {
+	w := sim.NewWorld(seed)
+	announce(obs, "fig5/rdma", w)
 	dev := rdma.NewDevice("cx3", sim.DefaultCosts())
 	vf := dev.NewVF("vf0")
 	var rdmaErr error
@@ -137,10 +174,7 @@ func Fig5(seed uint64, reps int) (*Fig5Result, error) {
 	if rdmaErr != nil {
 		return nil, rdmaErr
 	}
-	for i := range res.Rows {
-		res.Rows[i].RDMAGBs = rdmaBW[i]
-	}
-	return res, nil
+	return rdmaBW, nil
 }
 
 // String renders the figure as the paper's series.

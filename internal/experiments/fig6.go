@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xemem"
+	"xemem/internal/experiments/sweep"
 	"xemem/internal/pagetable"
 	"xemem/internal/sim"
 	"xemem/internal/xpmem"
@@ -32,24 +33,43 @@ type Fig6Result struct {
 // 1.5 GB each) export regions of 128 MB–1 GB; one Linux process per
 // enclave attaches concurrently, ≥reps times each. The 1→2 enclave dip
 // comes from contention on shared Linux memory-map structures and the
-// core-0 IPI funnel, both emergent here.
-func Fig6(seed uint64, reps int) (*Fig6Result, error) {
+// core-0 IPI funnel, both emergent here. Each (enclaves, size) point is
+// one sweep cell with its own fixed seed, executed on workers host
+// goroutines (<= 0 selects GOMAXPROCS, 1 reproduces the serial runner).
+func Fig6(seed uint64, reps, workers int) (*Fig6Result, error) {
 	if reps <= 0 {
 		reps = 500
 	}
 	res := &Fig6Result{Reps: reps, Core0Busy: make(map[int]sim.Time)}
 	sizes := []int{128, 256, 512, 1024}
 
+	type point struct {
+		enclaves, szMB int
+		bw             float64
+		core0          sim.Time
+	}
+	var cells []sweep.Cell[point]
 	for _, enclaves := range []int{1, 2, 4, 8} {
 		for _, szMB := range sizes {
-			bw, _, core0busy, err := fig6Point(seed, enclaves, szMB, reps)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, Fig6Cell{Enclaves: enclaves, SizeMB: szMB, GBs: bw / 1e9})
-			if szMB == 1024 {
-				res.Core0Busy[enclaves] = core0busy
-			}
+			enclaves, szMB := enclaves, szMB
+			obs := cellObserve(len(cells))
+			cells = append(cells, sweep.Cell[point]{
+				Label: fmt.Sprintf("fig6/enclaves=%d/size=%dMB", enclaves, szMB),
+				Run: func() (point, error) {
+					bw, _, core0busy, err := fig6Point(obs, seed, enclaves, szMB, reps)
+					return point{enclaves: enclaves, szMB: szMB, bw: bw, core0: core0busy}, err
+				},
+			})
+		}
+	}
+	points, err := sweep.Run(cells, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		res.Cells = append(res.Cells, Fig6Cell{Enclaves: p.enclaves, SizeMB: p.szMB, GBs: p.bw / 1e9})
+		if p.szMB == 1024 {
+			res.Core0Busy[p.enclaves] = p.core0
 		}
 	}
 	return res, nil
@@ -57,13 +77,13 @@ func Fig6(seed uint64, reps int) (*Fig6Result, error) {
 
 // fig6Point runs one configuration and returns the mean per-attacher
 // throughput, the mean per-attachment latency, and core 0's busy time.
-func fig6Point(seed uint64, enclaves, szMB, reps int) (float64, sim.Time, sim.Time, error) {
+func fig6Point(obs observeFn, seed uint64, enclaves, szMB, reps int) (float64, sim.Time, sim.Time, error) {
 	node := xemem.NewNode(xemem.NodeConfig{
 		Seed:       seed + uint64(enclaves*1000+szMB),
 		MemBytes:   32 << 30,
 		LinuxCores: 1 + enclaves, // core 0 + one per attacher
 	})
-	observeWorld(fmt.Sprintf("fig6/enclaves=%d/size=%dMB", enclaves, szMB), node.World())
+	announce(obs, fmt.Sprintf("fig6/enclaves=%d/size=%dMB", enclaves, szMB), node.World())
 	bytes := uint64(szMB) << 20
 
 	type pair struct {

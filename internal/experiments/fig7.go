@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xemem"
+	"xemem/internal/experiments/sweep"
 	"xemem/internal/noise"
 	"xemem/internal/sim"
 	"xemem/internal/xpmem"
@@ -36,73 +37,87 @@ type Fig7Result struct {
 // 4 KB, 2 MB and 1 GB; a Linux process attaches once per second for 10
 // seconds while the Selfish Detour benchmark profiles the Kitten core.
 // Detours caused by XEMEM serves are classified apart from the baseline
-// hardware noise and periodic SMIs.
-func Fig7(seed uint64) (*Fig7Result, error) {
-	res := &Fig7Result{}
-	for _, phase := range []struct {
+// hardware noise and periodic SMIs. Each size phase is an independent
+// world and therefore one sweep cell, executed on workers host
+// goroutines (<= 0 selects GOMAXPROCS, 1 reproduces the serial runner).
+func Fig7(seed uint64, workers int) (*Fig7Result, error) {
+	phases := []struct {
 		name  string
 		bytes uint64
 	}{
 		{"4KB", 4 << 10},
 		{"2MB", 2 << 20},
 		{"1GB", 1 << 30},
-	} {
-		node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30})
-		observeWorld("fig7/"+phase.name, node.World())
-		ck, err := node.BootCoKernel("kitten0", 2<<30)
-		if err != nil {
-			return nil, err
-		}
-		expSess, heap, err := node.KittenProcess(ck, "exporter", 1<<30)
-		if err != nil {
-			return nil, err
-		}
-		attSess, _ := node.LinuxProcess("attacher", 1)
-		noise.Inject(node.World(), ck.OS.Core(), noise.DefaultKittenSources())
-
-		bytes := phase.bytes
-		var runErr error
-		node.Spawn("fig7-"+phase.name, func(a *sim.Actor) {
-			segid, err := expSess.Make(a, heap.Base, bytes, xpmem.PermRead, "")
-			if err != nil {
-				runErr = err
-				return
-			}
-			apid, err := attSess.Get(a, segid, xpmem.PermRead)
-			if err != nil {
-				runErr = err
-				return
-			}
-			ck.OS.Core().StartRecording()
-			// Attach, sleep one second, repeat, for ten seconds (§5.5).
-			for t := 0; t < 10; t++ {
-				va, err := attSess.Attach(a, segid, apid, 0, bytes, xpmem.PermRead)
-				if err != nil {
-					runErr = err
-					return
-				}
-				if err := attSess.Detach(a, va); err != nil {
-					runErr = err
-					return
-				}
-				a.Advance(sim.Second)
-			}
-		})
-		if err := node.Run(); err != nil {
-			return nil, err
-		}
-		if runErr != nil {
-			return nil, runErr
-		}
-		spans := ck.OS.Core().StopRecording()
-		detours := noise.Detours(spans, "app")
-		res.Phases = append(res.Phases, Fig7Phase{
-			Size:    phase.name,
-			Classes: classify(detours),
-			Detours: detours,
-		})
 	}
-	return res, nil
+	cells := make([]sweep.Cell[Fig7Phase], len(phases))
+	for i, phase := range phases {
+		phase := phase
+		obs := cellObserve(i)
+		cells[i] = sweep.Cell[Fig7Phase]{
+			Label: "fig7/" + phase.name,
+			Run: func() (Fig7Phase, error) {
+				return fig7Phase(obs, seed, phase.name, phase.bytes)
+			},
+		}
+	}
+	out, err := sweep.Run(cells, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{Phases: out}, nil
+}
+
+// fig7Phase runs the noise profile for one attachment size.
+func fig7Phase(obs observeFn, seed uint64, name string, bytes uint64) (Fig7Phase, error) {
+	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30})
+	announce(obs, "fig7/"+name, node.World())
+	ck, err := node.BootCoKernel("kitten0", 2<<30)
+	if err != nil {
+		return Fig7Phase{}, err
+	}
+	expSess, heap, err := node.KittenProcess(ck, "exporter", 1<<30)
+	if err != nil {
+		return Fig7Phase{}, err
+	}
+	attSess, _ := node.LinuxProcess("attacher", 1)
+	noise.Inject(node.World(), ck.OS.Core(), noise.DefaultKittenSources())
+
+	var runErr error
+	node.Spawn("fig7-"+name, func(a *sim.Actor) {
+		segid, err := expSess.Make(a, heap.Base, bytes, xpmem.PermRead, "")
+		if err != nil {
+			runErr = err
+			return
+		}
+		apid, err := attSess.Get(a, segid, xpmem.PermRead)
+		if err != nil {
+			runErr = err
+			return
+		}
+		ck.OS.Core().StartRecording()
+		// Attach, sleep one second, repeat, for ten seconds (§5.5).
+		for t := 0; t < 10; t++ {
+			va, err := attSess.Attach(a, segid, apid, 0, bytes, xpmem.PermRead)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if err := attSess.Detach(a, va); err != nil {
+				runErr = err
+				return
+			}
+			a.Advance(sim.Second)
+		}
+	})
+	if err := node.Run(); err != nil {
+		return Fig7Phase{}, err
+	}
+	if runErr != nil {
+		return Fig7Phase{}, runErr
+	}
+	spans := ck.OS.Core().StopRecording()
+	detours := noise.Detours(spans, "app")
+	return Fig7Phase{Size: name, Classes: classify(detours), Detours: detours}, nil
 }
 
 // classify buckets detours into attachment serves, SMIs, and baseline

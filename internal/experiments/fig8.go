@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xemem"
+	"xemem/internal/experiments/sweep"
 	"xemem/internal/insitu"
 	"xemem/internal/proc"
 	"xemem/internal/sim"
@@ -44,21 +45,43 @@ type Fig8Result struct {
 // node, across the four Table 3 enclave configurations, the
 // synchronous/asynchronous execution models, and the one-time/recurring
 // attachment models — runs repetitions of each (the paper reports 10).
-func Fig8(seed uint64, runs int) (*Fig8Result, error) {
+// Every (configuration, model, repetition) run is one sweep cell with
+// its own fixed seed, executed on workers host goroutines (<= 0 selects
+// GOMAXPROCS, 1 reproduces the serial runner exactly).
+func Fig8(seed uint64, runs, workers int) (*Fig8Result, error) {
 	if runs <= 0 {
 		runs = 10
 	}
 	res := &Fig8Result{Runs: runs}
+	var cells []sweep.Cell[sim.Time]
+	for _, recurring := range []bool{false, true} {
+		for _, sync := range []bool{true, false} {
+			for _, cfg := range Fig8Configs {
+				for r := 0; r < runs; r++ {
+					cfg, sync, recurring, r := cfg, sync, recurring, r
+					obs := cellObserve(len(cells))
+					cells = append(cells, sweep.Cell[sim.Time]{
+						Label: fmt.Sprintf("fig8 %s sync=%v rec=%v run %d", cfg, sync, recurring, r),
+						Run: func() (sim.Time, error) {
+							return fig8Run(obs, seed+uint64(r)*7919, cfg, sync, recurring)
+						},
+					})
+				}
+			}
+		}
+	}
+	times, err := sweep.Run(cells, workers)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, recurring := range []bool{false, true} {
 		for _, sync := range []bool{true, false} {
 			for _, cfg := range Fig8Configs {
 				var s sim.Sample
 				for r := 0; r < runs; r++ {
-					t, err := fig8Run(seed+uint64(r)*7919, cfg, sync, recurring)
-					if err != nil {
-						return nil, fmt.Errorf("fig8 %s sync=%v rec=%v run %d: %w", cfg, sync, recurring, r, err)
-					}
-					s.AddTime(t)
+					s.AddTime(times[i])
+					i++
 				}
 				res.Cells = append(res.Cells, Fig8Cell{
 					Config: cfg, Sync: sync, Recurring: recurring,
@@ -72,9 +95,9 @@ func Fig8(seed uint64, runs int) (*Fig8Result, error) {
 
 // fig8Run executes one composed run in a fresh world and returns the HPC
 // simulation's completion time.
-func fig8Run(seed uint64, config Fig8Config, sync, recurring bool) (sim.Time, error) {
+func fig8Run(obs observeFn, seed uint64, config Fig8Config, sync, recurring bool) (sim.Time, error) {
 	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 16 << 30, LinuxCores: 8})
-	observeWorld(fmt.Sprintf("fig8/%s/sync=%v/recurring=%v/seed=%d", config, sync, recurring, seed), node.World())
+	announce(obs, fmt.Sprintf("fig8/%s/sync=%v/recurring=%v/seed=%d", config, sync, recurring, seed), node.World())
 	costs := node.Costs()
 	regionBytes := uint64(fig8DataBytes) + 64<<10 // data + control page slack
 
@@ -159,17 +182,28 @@ func fig8Run(seed uint64, config Fig8Config, sync, recurring bool) (sim.Time, er
 
 // Fig8Single runs one configuration/workflow combination (a single
 // Figure 8 bar) with the given repetitions — the backing for the
-// xemem-insitu command.
-func Fig8Single(seed uint64, cfg Fig8Config, sync, recurring bool, runs int) (Fig8Cell, error) {
+// xemem-insitu command. Repetitions are independent sweep cells.
+func Fig8Single(seed uint64, cfg Fig8Config, sync, recurring bool, runs, workers int) (Fig8Cell, error) {
 	if runs <= 0 {
 		runs = 1
 	}
-	var s sim.Sample
+	cells := make([]sweep.Cell[sim.Time], runs)
 	for r := 0; r < runs; r++ {
-		t, err := fig8Run(seed+uint64(r)*7919, cfg, sync, recurring)
-		if err != nil {
-			return Fig8Cell{}, err
+		r := r
+		obs := cellObserve(r)
+		cells[r] = sweep.Cell[sim.Time]{
+			Label: fmt.Sprintf("fig8 %s sync=%v rec=%v run %d", cfg, sync, recurring, r),
+			Run: func() (sim.Time, error) {
+				return fig8Run(obs, seed+uint64(r)*7919, cfg, sync, recurring)
+			},
 		}
+	}
+	times, err := sweep.Run(cells, workers)
+	if err != nil {
+		return Fig8Cell{}, err
+	}
+	var s sim.Sample
+	for _, t := range times {
 		s.AddTime(t)
 	}
 	return Fig8Cell{Config: cfg, Sync: sync, Recurring: recurring, MeanS: s.Mean(), StdS: s.Stddev()}, nil

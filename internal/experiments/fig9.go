@@ -6,6 +6,7 @@ import (
 
 	"xemem"
 	"xemem/internal/cluster"
+	"xemem/internal/experiments/sweep"
 	"xemem/internal/insitu"
 	"xemem/internal/proc"
 	"xemem/internal/sim"
@@ -35,21 +36,43 @@ var Fig9NodeCounts = []int{1, 2, 4, 8}
 // against the multi-enclave one (HPC simulation in a Palacios VM on an
 // isolated Kitten co-kernel host, analytics in the native Linux enclave),
 // for both attachment models. runs repetitions (the paper reports 5).
-func Fig9(seed uint64, runs int) (*Fig9Result, error) {
+// Every (model, configuration, node count, repetition) run is one sweep
+// cell with its own fixed seed, executed on workers host goroutines
+// (<= 0 selects GOMAXPROCS, 1 reproduces the serial runner exactly).
+func Fig9(seed uint64, runs, workers int) (*Fig9Result, error) {
 	if runs <= 0 {
 		runs = 5
 	}
 	res := &Fig9Result{Runs: runs}
+	var cells []sweep.Cell[sim.Time]
+	for _, recurring := range []bool{false, true} {
+		for _, multi := range []bool{false, true} {
+			for _, nodes := range Fig9NodeCounts {
+				for r := 0; r < runs; r++ {
+					recurring, multi, nodes, r := recurring, multi, nodes, r
+					obs := cellObserve(len(cells))
+					cells = append(cells, sweep.Cell[sim.Time]{
+						Label: fmt.Sprintf("fig9 nodes=%d multi=%v rec=%v run %d", nodes, multi, recurring, r),
+						Run: func() (sim.Time, error) {
+							return fig9Run(obs, seed+uint64(r)*104729, nodes, multi, recurring)
+						},
+					})
+				}
+			}
+		}
+	}
+	times, err := sweep.Run(cells, workers)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, recurring := range []bool{false, true} {
 		for _, multi := range []bool{false, true} {
 			for _, nodes := range Fig9NodeCounts {
 				var s sim.Sample
 				for r := 0; r < runs; r++ {
-					t, err := fig9Run(seed+uint64(r)*104729, nodes, multi, recurring)
-					if err != nil {
-						return nil, fmt.Errorf("fig9 nodes=%d multi=%v rec=%v run %d: %w", nodes, multi, recurring, r, err)
-					}
-					s.AddTime(t)
+					s.AddTime(times[i])
+					i++
 				}
 				res.Cells = append(res.Cells, Fig9Cell{
 					Nodes: nodes, MultiEnclave: multi, Recurring: recurring,
@@ -61,13 +84,20 @@ func Fig9(seed uint64, runs int) (*Fig9Result, error) {
 	return res, nil
 }
 
+// Fig9Run executes a single Figure 9 cell — one weak-scaled run at the
+// given node count — and returns the completion time. It is the
+// benchmark-facing wrapper around the sweep's per-cell function.
+func Fig9Run(seed uint64, nodes int, multiEnclave, recurring bool) (sim.Time, error) {
+	return fig9Run(nil, seed, nodes, multiEnclave, recurring)
+}
+
 // fig9Run executes one weak-scaled run: `nodes` simulated machines in one
 // world, coupled by the allreduce at every CG iteration, each running its
 // own composed pair. It returns the slowest node's simulation completion
 // time (they coincide up to the final partial interval).
-func fig9Run(seed uint64, nodes int, multiEnclave, recurring bool) (sim.Time, error) {
+func fig9Run(obs observeFn, seed uint64, nodes int, multiEnclave, recurring bool) (sim.Time, error) {
 	w := sim.NewWorld(seed)
-	observeWorld(fmt.Sprintf("fig9/nodes=%d/multi=%v/recurring=%v/seed=%d", nodes, multiEnclave, recurring, seed), w)
+	announce(obs, fmt.Sprintf("fig9/nodes=%d/multi=%v/recurring=%v/seed=%d", nodes, multiEnclave, recurring, seed), w)
 	costs := sim.DefaultCosts()
 	bar := cluster.NewAllreduce(nodes, fig9AllreduceNs)
 	results := make([]func() *insitu.Result, nodes)

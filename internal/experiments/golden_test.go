@@ -80,45 +80,45 @@ func checkGolden(t *testing.T, name string, got []trace.Digest) {
 
 func TestGoldenFig5(t *testing.T) {
 	checkGolden(t, "fig5", runTraced(t, func() error {
-		_, err := Fig5(1, 2)
+		_, err := Fig5(1, 2, 1)
 		return err
 	}))
 }
 
 func TestGoldenFig6(t *testing.T) {
 	checkGolden(t, "fig6", runTraced(t, func() error {
-		_, _, _, err := fig6Point(1, 2, 128, 2)
+		_, _, _, err := fig6Point(nil, 1, 2, 128, 2)
 		return err
 	}))
 }
 
 func TestGoldenFig7(t *testing.T) {
 	checkGolden(t, "fig7", runTraced(t, func() error {
-		_, err := Fig7(1)
+		_, err := Fig7(1, 1)
 		return err
 	}))
 }
 
 func TestGoldenFig8(t *testing.T) {
 	checkGolden(t, "fig8", runTraced(t, func() error {
-		if _, err := fig8Run(1, KittenLinux, true, false); err != nil {
+		if _, err := fig8Run(nil, 1, KittenLinux, true, false); err != nil {
 			return err
 		}
-		_, err := fig8Run(1, KittenVMOnKt, false, true)
+		_, err := fig8Run(nil, 1, KittenVMOnKt, false, true)
 		return err
 	}))
 }
 
 func TestGoldenFig9(t *testing.T) {
 	checkGolden(t, "fig9", runTraced(t, func() error {
-		_, err := fig9Run(1, 2, true, false)
+		_, err := fig9Run(nil, 1, 2, true, false)
 		return err
 	}))
 }
 
 func TestGoldenTable2(t *testing.T) {
 	checkGolden(t, "table2", runTraced(t, func() error {
-		_, err := Table2(1, 1)
+		_, err := Table2(1, 1, 1)
 		return err
 	}))
 }
@@ -129,7 +129,7 @@ func TestGoldenTable2(t *testing.T) {
 func TestGoldenRepeatable(t *testing.T) {
 	run := func() []trace.Digest {
 		return runTraced(t, func() error {
-			_, _, _, err := fig6Point(3, 2, 128, 2)
+			_, _, _, err := fig6Point(nil, 3, 2, 128, 2)
 			return err
 		})
 	}

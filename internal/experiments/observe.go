@@ -15,15 +15,43 @@ import (
 // that configuration's full event stream. Leave nil for zero overhead;
 // the simulated results are bit-identical either way. The hook is a
 // package variable because experiments construct their worlds
-// internally, one per configuration point; it is read once per world at
-// creation, not concurrency-safe to reassign mid-experiment.
+// internally, one per configuration point; set it before an experiment
+// starts and leave it alone until the experiment returns — under the
+// parallel sweep runner it is read from worker goroutines. With more
+// than one worker, tracers registered through this hook land in
+// completion order; use ObserveCell for worker-count-independent order.
 var Observe func(label string, w *sim.World)
 
-// observeWorld announces a freshly built experiment world to the
-// Observe hook.
-func observeWorld(label string, w *sim.World) {
-	if Observe != nil {
-		Observe(label, w)
+// ObserveCell is the cell-aware variant of Observe, consumed by the
+// parallel sweep runner: it additionally receives the sweep-cell index
+// of the world being announced, so a trace.Set.CellHook() can order
+// tracers by cell rather than by which worker registered first. When
+// both hooks are set, ObserveCell wins.
+var ObserveCell func(cell int, label string, w *sim.World)
+
+// observeFn announces one world of one sweep cell to whatever hook is
+// installed; nil means no tracing.
+type observeFn = func(label string, w *sim.World)
+
+// cellObserve resolves the observer for sweep cell i from the package
+// hooks. Resolve once per cell while enumerating (before workers start);
+// the returned closure is then safe to call from a worker goroutine.
+func cellObserve(cell int) observeFn {
+	if oc := ObserveCell; oc != nil {
+		return func(label string, w *sim.World) { oc(cell, label, w) }
+	}
+	return Observe
+}
+
+// announce invokes obs, falling back to the package Observe hook when
+// obs is nil (the path for direct calls to per-cell run functions, e.g.
+// from the golden-trace tests).
+func announce(obs observeFn, label string, w *sim.World) {
+	if obs == nil {
+		obs = Observe
+	}
+	if obs != nil {
+		obs(label, w)
 	}
 }
 

@@ -27,7 +27,7 @@ func traced(fn func() error) (*trace.Set, error) {
 // TestTracingDoesNotPerturbFig6 runs the same Figure 6 point bare and
 // traced; every simulated output must be bit-identical.
 func TestTracingDoesNotPerturbFig6(t *testing.T) {
-	bw0, at0, busy0, err := fig6Point(7, 2, 128, 3)
+	bw0, at0, busy0, err := fig6Point(nil, 7, 2, 128, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestTracingDoesNotPerturbFig6(t *testing.T) {
 	var at1, busy1 sim.Time
 	s, err := traced(func() error {
 		var err error
-		bw1, at1, busy1, err = fig6Point(7, 2, 128, 3)
+		bw1, at1, busy1, err = fig6Point(nil, 7, 2, 128, 3)
 		return err
 	})
 	if err != nil {
@@ -52,14 +52,14 @@ func TestTracingDoesNotPerturbFig6(t *testing.T) {
 
 // TestTracingDoesNotPerturbFig8 does the same for a full composed run.
 func TestTracingDoesNotPerturbFig8(t *testing.T) {
-	t0, err := fig8Run(7, KittenLinux, false, true)
+	t0, err := fig8Run(nil, 7, KittenLinux, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var t1 sim.Time
 	if _, err := traced(func() error {
 		var err error
-		t1, err = fig8Run(7, KittenLinux, false, true)
+		t1, err = fig8Run(nil, 7, KittenLinux, false, true)
 		return err
 	}); err != nil {
 		t.Fatal(err)
@@ -71,14 +71,14 @@ func TestTracingDoesNotPerturbFig8(t *testing.T) {
 
 // TestTracingDoesNotPerturbTable2 compares whole result structs.
 func TestTracingDoesNotPerturbTable2(t *testing.T) {
-	r0, err := Table2(7, 1)
+	r0, err := Table2(7, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var r1 *Table2Result
 	if _, err := traced(func() error {
 		var err error
-		r1, err = Table2(7, 1)
+		r1, err = Table2(7, 1, 1)
 		return err
 	}); err != nil {
 		t.Fatal(err)

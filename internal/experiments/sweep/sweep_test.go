@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// cells builds n trivial cells that record their execution and return
+// their own index.
+func cells(n int, ran *[]int32) []Cell[int] {
+	out := make([]Cell[int], n)
+	slots := make([]int32, n)
+	*ran = slots
+	for i := range out {
+		i := i
+		out[i] = Cell[int]{Label: fmt.Sprintf("cell%d", i), Run: func() (int, error) {
+			atomic.AddInt32(&slots[i], 1)
+			return i, nil
+		}}
+	}
+	return out
+}
+
+// TestRunOrderAndCompleteness: results come back in cell order with every
+// cell run exactly once, at several worker counts.
+func TestRunOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU(), 64} {
+		var ran []int32
+		cs := cells(37, &ran)
+		got, err := Run(cs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: results[%d] = %d", workers, i, v)
+			}
+		}
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestRunFirstError: the reported error is the lowest-indexed failure,
+// wrapped with the cell's label, regardless of worker count.
+func TestRunFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	build := func() []Cell[int] {
+		cs := make([]Cell[int], 10)
+		for i := range cs {
+			i := i
+			cs[i] = Cell[int]{Label: fmt.Sprintf("cell%d", i), Run: func() (int, error) {
+				if i == 3 || i == 7 {
+					return 0, sentinel
+				}
+				return i, nil
+			}}
+		}
+		return cs
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := Run(build(), workers)
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		if !strings.HasPrefix(err.Error(), "cell3:") {
+			t.Fatalf("workers=%d: err = %q, want lowest-indexed cell3 failure", workers, err)
+		}
+	}
+}
+
+// TestRunSerialStopsAtFirstFailure: workers=1 must not run cells past the
+// first failing one — exactly the legacy sequential-runner behavior.
+func TestRunSerialStopsAtFirstFailure(t *testing.T) {
+	var ran []int32
+	cs := cells(10, &ran)
+	cs[4].Run = func() (int, error) { return 0, errors.New("boom") }
+	if _, err := Run(cs, 1); err == nil {
+		t.Fatal("expected error")
+	}
+	for i := 5; i < 10; i++ {
+		if ran[i] != 0 {
+			t.Fatalf("cell %d ran after the failure at cell 4", i)
+		}
+	}
+}
+
+// TestWorkers: the flag normalization.
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+// TestRunEmpty: no cells is a no-op, not a hang.
+func TestRunEmpty(t *testing.T) {
+	got, err := Run[int](nil, 8)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Run(nil) = %v, %v", got, err)
+	}
+}

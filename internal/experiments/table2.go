@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xemem"
+	"xemem/internal/experiments/sweep"
 	"xemem/internal/pagetable"
 	"xemem/internal/proc"
 	"xemem/internal/sim"
@@ -34,96 +35,128 @@ type Table2Result struct {
 // native attaching guest memory (Fig. 4(b), cheap translation). The
 // simulator is deterministic, so reps beyond a handful only confirm the
 // steady state (the paper used ≥500 to average hardware noise).
-func Table2(seed uint64, reps int) (*Table2Result, error) {
+// Each row is an independent world and therefore one sweep cell,
+// executed on workers host goroutines (<= 0 selects GOMAXPROCS, 1
+// reproduces the serial runner exactly).
+func Table2(seed uint64, reps, workers int) (*Table2Result, error) {
 	if reps <= 0 {
 		reps = 20
 	}
 	res := &Table2Result{Reps: reps}
 	const bytes = 1 << 30
 
-	// Row 1: Kitten exports, native Linux attaches (Fig. 5's 1 GB point).
-	{
-		node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30})
-		observeWorld("table2/kitten-to-linux", node.World())
-		ck, err := node.BootCoKernel("kitten0", 2<<30)
-		if err != nil {
-			return nil, err
-		}
-		expSess, heap, err := node.KittenProcess(ck, "exp", bytes)
-		if err != nil {
-			return nil, err
-		}
-		attSess, _ := node.LinuxProcess("att", 1)
-		bw, _, err := attachLoop(node, expSess, attSess, heap.Base, bytes, reps)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, Table2Row{Exporting: "Kitten", Attaching: "Linux", GBs: bw / 1e9})
+	rows := []struct {
+		label string
+		run   func(obs observeFn) (Table2Row, error)
+	}{
+		{"table2/kitten-to-linux", func(obs observeFn) (Table2Row, error) {
+			return table2KittenToLinux(obs, seed, bytes, reps)
+		}},
+		{"table2/kitten-to-vm", func(obs observeFn) (Table2Row, error) {
+			return table2KittenToVM(obs, seed+1, bytes, reps)
+		}},
+		{"table2/vm-to-kitten", func(obs observeFn) (Table2Row, error) {
+			return table2VMToKitten(obs, seed+2, bytes, reps)
+		}},
 	}
-
-	// Row 2: Kitten exports, a Linux VM (on the Linux host) attaches —
-	// the Fig. 4(a) path whose cost is dominated by per-page rb-tree
-	// insertion.
-	{
-		node := xemem.NewNode(xemem.NodeConfig{Seed: seed + 1, MemBytes: 32 << 30})
-		observeWorld("table2/kitten-to-vm", node.World())
-		ck, err := node.BootCoKernel("kitten0", 2<<30)
-		if err != nil {
-			return nil, err
-		}
-		vm, err := node.BootVM("vm0", 2<<30, 1)
-		if err != nil {
-			return nil, err
-		}
-		expSess, heap, err := node.KittenProcess(ck, "exp", bytes)
-		if err != nil {
-			return nil, err
-		}
-		attSess, _ := node.GuestProcess(vm, "att", 0)
-		bw, elapsed, err := attachLoop(node, expSess, attSess, heap.Base, bytes, reps)
-		if err != nil {
-			return nil, err
-		}
-		// "(w/o rb-tree inserts)": subtract the exact accumulated memory
-		// map insertion time, as the paper's measurement does.
-		adjusted := sim.PerSecond(float64(uint64(bytes))*float64(reps), elapsed-vm.MapInsertTime)
-		res.Rows = append(res.Rows, Table2Row{
-			Exporting: "Kitten", Attaching: "Linux (VM)",
-			GBs: bw / 1e9, NoRBTreeGBs: adjusted / 1e9,
-		})
+	cells := make([]sweep.Cell[Table2Row], len(rows))
+	for i, row := range rows {
+		row := row
+		obs := cellObserve(i)
+		cells[i] = sweep.Cell[Table2Row]{Label: row.label, Run: func() (Table2Row, error) {
+			return row.run(obs)
+		}}
 	}
-
-	// Row 3: a Linux VM exports, the native Kitten process attaches —
-	// the Fig. 4(b) path, cheap memory-map walks.
-	{
-		node := xemem.NewNode(xemem.NodeConfig{Seed: seed + 2, MemBytes: 32 << 30})
-		observeWorld("table2/vm-to-kitten", node.World())
-		ck, err := node.BootCoKernel("kitten0", 4<<30)
-		if err != nil {
-			return nil, err
-		}
-		vm, err := node.BootVM("vm0", 2<<30, 1)
-		if err != nil {
-			return nil, err
-		}
-		expSess, expProc := node.GuestProcess(vm, "exp", 0)
-		region, err := xemem.AllocLinux(vm.Guest, expProc, "buf", bytes, true)
-		if err != nil {
-			return nil, err
-		}
-		// The Kitten attacher needs room for the 1 GB mapping plus its
-		// static layout; its co-kernel has 4 GB.
-		attSess, _, err := node.KittenProcess(ck, "att", 16<<20)
-		if err != nil {
-			return nil, err
-		}
-		bw, _, err := attachLoop(node, expSess, attSess, region.Base, bytes, reps)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, Table2Row{Exporting: "Linux (VM)", Attaching: "Kitten", GBs: bw / 1e9})
+	out, err := sweep.Run(cells, workers)
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = out
 	return res, nil
+}
+
+// table2KittenToLinux: Kitten exports, native Linux attaches (Fig. 5's
+// 1 GB point).
+func table2KittenToLinux(obs observeFn, seed uint64, bytes uint64, reps int) (Table2Row, error) {
+	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30})
+	announce(obs, "table2/kitten-to-linux", node.World())
+	ck, err := node.BootCoKernel("kitten0", 2<<30)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	expSess, heap, err := node.KittenProcess(ck, "exp", bytes)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	attSess, _ := node.LinuxProcess("att", 1)
+	bw, _, err := attachLoop(node, expSess, attSess, heap.Base, bytes, reps)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	return Table2Row{Exporting: "Kitten", Attaching: "Linux", GBs: bw / 1e9}, nil
+}
+
+// table2KittenToVM: Kitten exports, a Linux VM (on the Linux host)
+// attaches — the Fig. 4(a) path whose cost is dominated by per-page
+// rb-tree insertion.
+func table2KittenToVM(obs observeFn, seed uint64, bytes uint64, reps int) (Table2Row, error) {
+	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30})
+	announce(obs, "table2/kitten-to-vm", node.World())
+	ck, err := node.BootCoKernel("kitten0", 2<<30)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	vm, err := node.BootVM("vm0", 2<<30, 1)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	expSess, heap, err := node.KittenProcess(ck, "exp", bytes)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	attSess, _ := node.GuestProcess(vm, "att", 0)
+	bw, elapsed, err := attachLoop(node, expSess, attSess, heap.Base, bytes, reps)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	// "(w/o rb-tree inserts)": subtract the exact accumulated memory
+	// map insertion time, as the paper's measurement does.
+	adjusted := sim.PerSecond(float64(bytes)*float64(reps), elapsed-vm.MapInsertTime)
+	return Table2Row{
+		Exporting: "Kitten", Attaching: "Linux (VM)",
+		GBs: bw / 1e9, NoRBTreeGBs: adjusted / 1e9,
+	}, nil
+}
+
+// table2VMToKitten: a Linux VM exports, the native Kitten process
+// attaches — the Fig. 4(b) path, cheap memory-map walks.
+func table2VMToKitten(obs observeFn, seed uint64, bytes uint64, reps int) (Table2Row, error) {
+	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 32 << 30})
+	announce(obs, "table2/vm-to-kitten", node.World())
+	ck, err := node.BootCoKernel("kitten0", 4<<30)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	vm, err := node.BootVM("vm0", 2<<30, 1)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	expSess, expProc := node.GuestProcess(vm, "exp", 0)
+	region, err := xemem.AllocLinux(vm.Guest, expProc, "buf", bytes, true)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	// The Kitten attacher needs room for the 1 GB mapping plus its
+	// static layout; its co-kernel has 4 GB.
+	attSess, _, err := node.KittenProcess(ck, "att", 16<<20)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	bw, _, err := attachLoop(node, expSess, attSess, region.Base, bytes, reps)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	return Table2Row{Exporting: "Linux (VM)", Attaching: "Kitten", GBs: bw / 1e9}, nil
 }
 
 // attachLoop exports [base, base+bytes) from expSess and attaches it reps

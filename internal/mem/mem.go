@@ -30,6 +30,12 @@ type PhysMem struct {
 	name   string
 	zones  []*Zone
 	frames map[PFN][]byte
+	// slab is the bump allocator backing newly materialized frames: one
+	// slabPages-page host allocation is carved into page-sized backing
+	// arrays instead of a make per frame. Only NEW frames draw from it —
+	// a freed-and-reallocated frame keeps its old array (and stale
+	// contents), exactly as before.
+	slab []byte
 	// pins counts pin references per extent. Pin/Unpin operate on whole
 	// frame lists and must be symmetric (unpin what was pinned); keeping
 	// intervals instead of per-page counts makes pinning a 1 GB region
@@ -37,13 +43,31 @@ type PhysMem struct {
 	pins map[extent.Extent]int
 }
 
+// slabPages is how many frame backings one slab allocation yields: 64
+// pages = 256 KB per host allocation, amortizing a 1 GB attach's
+// materialization from 262144 allocations to 4096.
+const slabPages = 64
+
+// framesHint caps the frames map's pre-sized bucket count. Most worlds
+// touch a tiny fraction of their simulated memory; the hint only needs to
+// cover the common warm-up so early growth rehashes disappear.
+const framesHint = 4096
+
 // NewPhysMem creates physical memory with one zone per given size (in
 // bytes, rounded down to whole pages), modelling NUMA sockets. Frame
 // numbers start at 0x100 to catch null-frame bugs.
 func NewPhysMem(name string, zoneBytes ...uint64) *PhysMem {
+	var pages uint64
+	for _, zb := range zoneBytes {
+		pages += zb / PageSize
+	}
+	hint := uint64(framesHint)
+	if pages < hint {
+		hint = pages
+	}
 	m := &PhysMem{
 		name:   name,
-		frames: make(map[PFN][]byte),
+		frames: make(map[PFN][]byte, hint),
 		pins:   make(map[extent.Extent]int),
 	}
 	// Zones start 2 MB-aligned (512 frames) so aligned allocations within
@@ -93,7 +117,13 @@ func (m *PhysMem) Frame(f PFN) []byte {
 	}
 	b, ok := m.frames[f]
 	if !ok {
-		b = make([]byte, PageSize)
+		if len(m.slab) < PageSize {
+			m.slab = make([]byte, slabPages*PageSize)
+		}
+		// Full slice-cap so appends through one frame's slice can never
+		// bleed into its slab neighbour.
+		b = m.slab[:PageSize:PageSize]
+		m.slab = m.slab[PageSize:]
 		m.frames[f] = b
 	}
 	return b

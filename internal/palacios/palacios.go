@@ -397,7 +397,7 @@ func (l *pciLink) Send(a *sim.Actor, m *xproto.Message) {
 			m = &cp
 		}
 	}
-	buf := m.Encode()
+	buf := m.AppendEncode(l.in.GetBuf(m.EncodedSize()))
 	a.Charge("pci-copy", sim.CopyTime(len(buf), c.PCICopyBW))
 	if l.toGuest {
 		a.Charge("irq-inject", c.IRQInject) // raise a virtual IRQ on the device

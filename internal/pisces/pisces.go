@@ -35,7 +35,7 @@ type link struct {
 // IPI toward the peer (§4.5: "the source enclave then copies the message
 // into the shared memory region…").
 func (l *link) Send(a *sim.Actor, m *xproto.Message) {
-	buf := m.Encode()
+	buf := m.AppendEncode(l.in.GetBuf(m.EncodedSize()))
 	// The shared region admits one in-flight message at a time.
 	l.wire.AcquireOp(a, sim.CopyTime(len(buf), l.c.ChanBW), "chan-copy")
 	a.Charge("ipi", l.c.IPILatency)

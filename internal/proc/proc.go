@@ -78,12 +78,16 @@ type AddressSpace struct {
 	dom     Domain
 	regions []*Region // sorted by Base
 	mmapCur pagetable.VA
+	// legacyPerPage is snapshotted from the package default at creation,
+	// so concurrently running worlds each see a stable setting — flipping
+	// the default mid-sweep cannot tear an address space's behavior.
+	legacyPerPage bool
 }
 
 // NewAddressSpace creates an empty address space over dom whose automatic
 // region placement starts at mmapBase and grows upward.
 func NewAddressSpace(dom Domain, mmapBase pagetable.VA) *AddressSpace {
-	return &AddressSpace{pt: pagetable.New(), dom: dom, mmapCur: mmapBase}
+	return &AddressSpace{pt: pagetable.New(), dom: dom, mmapCur: mmapBase, legacyPerPage: legacyPerPage}
 }
 
 // Domain reports the address space's physical domain.
@@ -210,8 +214,10 @@ var legacyPerPage = false
 // loop instead of the batched run installer. Both produce identical page
 // tables (4 KB leaves), fault counts, and errors; the legacy path exists
 // as the reference baseline for equivalence tests and the engine
-// benchmark's before/after comparison. The setting is package-wide and
-// not safe to flip while accesses are in flight.
+// benchmark's before/after comparison. The setting is a package-wide
+// DEFAULT that each AddressSpace snapshots when created: set it before
+// building the world whose behavior it should govern. Address spaces
+// already created keep the path they were born with.
 func SetLegacyPerPageOps(on bool) { legacyPerPage = on }
 
 // PopulateRange installs PTEs for pages [va, va+npages) that are not yet
@@ -223,7 +229,7 @@ func (as *AddressSpace) PopulateRange(va pagetable.VA, npages uint64) (faults in
 	if va.Offset() != 0 {
 		return 0, fmt.Errorf("proc: unaligned populate at %#x", uint64(va))
 	}
-	if legacyPerPage {
+	if as.legacyPerPage {
 		return as.populateRangeLegacy(va, npages)
 	}
 	for npages > 0 {

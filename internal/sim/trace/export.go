@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"xemem/internal/sim"
 )
@@ -13,39 +14,83 @@ import (
 // Set collects the tracers of a multi-world run (experiments build one
 // world per configuration point) and exports them together: one Chrome
 // trace process per tracer, one metrics record per tracer, digests in
-// creation order.
+// deterministic order.
+//
+// Registration is safe from concurrent host goroutines: the parallel
+// sweep runner builds worlds from several workers at once. Export order
+// is keyed by (cell, seq), where cell is the sweep-cell index and seq
+// counts registrations within a cell (world construction inside one cell
+// is sequential). Legacy Hook/Get registrations auto-assign one cell per
+// tracer in call order, so a serial run's export order is exactly its
+// creation order — and a parallel run sorts back to the identical order,
+// whatever order the workers reached the registrations in. Individual
+// Tracers still belong to exactly one world and are not locked.
 type Set struct {
-	order []string
-	m     map[string]*Tracer
-	keep  bool
+	mu      sync.Mutex
+	entries []setEntry
+	m       map[string]*Tracer
+	keep    bool
+	auto    int         // next auto-assigned cell (Get/Hook path)
+	cellSeq map[int]int // next within-cell sequence number (CellHook path)
+}
+
+// setEntry is one registered tracer with its deterministic sort key.
+type setEntry struct {
+	cell, seq int
+	t         *Tracer
 }
 
 // NewSet returns an empty set with event retention on.
 func NewSet() *Set {
-	return &Set{m: make(map[string]*Tracer), keep: true}
+	return &Set{m: make(map[string]*Tracer), cellSeq: make(map[int]int), keep: true}
 }
 
 // SetKeepEvents toggles event retention for tracers the set creates
 // later (metrics-only runs keep memory flat; Chrome export needs events).
-func (s *Set) SetKeepEvents(on bool) { s.keep = on }
+func (s *Set) SetKeepEvents(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keep = on
+}
 
-// Get returns the tracer for label, creating it on first use.
+// Get returns the tracer for label, creating it on first use. Tracers
+// created this way sort in creation order (each takes the next free
+// cell index).
 func (s *Set) Get(label string) *Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.get(s.auto, label)
+	return t
+}
+
+// get creates-or-returns the tracer for label under cell. Callers hold mu.
+func (s *Set) get(cell int, label string) *Tracer {
 	if t, ok := s.m[label]; ok {
 		return t
 	}
 	t := NewTracer(label)
 	t.SetKeepEvents(s.keep)
 	s.m[label] = t
-	s.order = append(s.order, label)
+	s.entries = append(s.entries, setEntry{cell: cell, seq: s.cellSeq[cell], t: t})
+	s.cellSeq[cell]++
+	if cell >= s.auto {
+		s.auto = cell + 1
+	}
 	return t
 }
 
-// Tracers returns the set's tracers in creation order.
+// Tracers returns the set's tracers ordered by (cell, seq) — creation
+// order for serial runs, the cell-enumeration order for parallel sweeps.
 func (s *Set) Tracers() []*Tracer {
-	out := make([]*Tracer, 0, len(s.order))
-	for _, label := range s.order {
-		out = append(out, s.m[label])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sort.SliceStable(s.entries, func(i, j int) bool {
+		a, b := s.entries[i], s.entries[j]
+		return a.cell < b.cell || (a.cell == b.cell && a.seq < b.seq)
+	})
+	out := make([]*Tracer, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.t)
 	}
 	return out
 }
@@ -59,10 +104,25 @@ func (s *Set) Hook() func(label string, w *sim.World) {
 	}
 }
 
-// Digests returns every tracer's digest in creation order.
+// CellHook returns a cell-aware observer-installing callback (the shape
+// of experiments.ObserveCell): worlds registered from sweep cell i sort
+// at position i regardless of which worker goroutine built them, making
+// trace export order — and therefore digests, Chrome traces, and metrics
+// JSON — independent of the worker count.
+func (s *Set) CellHook() func(cell int, label string, w *sim.World) {
+	return func(cell int, label string, w *sim.World) {
+		s.mu.Lock()
+		t := s.get(cell, label)
+		s.mu.Unlock()
+		w.SetObserver(t)
+	}
+}
+
+// Digests returns every tracer's digest in (cell, seq) order.
 func (s *Set) Digests() []Digest {
-	out := make([]Digest, 0, len(s.order))
-	for _, t := range s.Tracers() {
+	ts := s.Tracers()
+	out := make([]Digest, 0, len(ts))
+	for _, t := range ts {
 		out = append(out, t.Digest())
 	}
 	return out
@@ -230,8 +290,9 @@ func (t *Tracer) metrics() metricsJSON {
 // per-queue metrics as an indented JSON array in creation order. Map
 // keys serialize sorted (encoding/json), so output is deterministic.
 func (s *Set) WriteMetricsJSON(w io.Writer) error {
-	records := make([]metricsJSON, 0, len(s.order))
-	for _, t := range s.Tracers() {
+	ts := s.Tracers()
+	records := make([]metricsJSON, 0, len(ts))
+	for _, t := range ts {
 		records = append(records, t.metrics())
 	}
 	enc := json.NewEncoder(w)

@@ -4,7 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
+
+// resumePool recycles actor resume channels across Worlds. A channel is
+// only returned to the pool after its actor's goroutine has provably
+// exited (Run's teardown), so a pooled channel is always idle. This
+// matters for sweeps: each of thousands of short-lived worlds would
+// otherwise allocate a fresh channel per actor.
+var resumePool = sync.Pool{New: func() any { return make(chan struct{}) }}
 
 // World owns a set of actors and dispatches them in virtual-time order.
 // Create one with NewWorld, add actors with Spawn (before or during Run),
@@ -20,6 +28,21 @@ import (
 // A World is not safe for concurrent use from multiple host goroutines;
 // actors themselves never need synchronization because the scheduler
 // guarantees mutual exclusion.
+//
+// # A World owns everything it touches
+//
+// Every piece of simulation state — actors, RNG streams, cores, zones,
+// physical memory, inboxes, routers, nameservers, tracers — is reachable
+// from exactly one World and is mutated only while that World's scheduler
+// has dispatched one of its actors. Nothing in this module tree keeps
+// package-level mutable state that two Worlds could share (configuration
+// knobs like SetLinearScan are snapshotted per instance at creation).
+// Consequently, distinct Worlds may run concurrently on distinct host
+// goroutines with no synchronization whatsoever, and a sweep of N
+// independent Worlds is embarrassingly parallel while remaining
+// bit-identical to running them one after another. Code added to the
+// simulation must preserve this invariant: per-world state lives on the
+// World (or an object created per World), never in a package variable.
 type World struct {
 	actors  []*Actor
 	yield   chan *Actor // actors hand control back to the scheduler here
@@ -103,7 +126,7 @@ func (w *World) Spawn(name string, fn func(*Actor)) *Actor {
 		name:    name,
 		w:       w,
 		state:   ready,
-		resume:  make(chan struct{}),
+		resume:  resumePool.Get().(chan struct{}),
 		heapIdx: -1,
 	}
 	w.actors = append(w.actors, a)
@@ -344,7 +367,8 @@ func (w *World) blockedNonDaemons() []string {
 // killAll terminates every actor that has not finished, including daemons
 // blocked on message loops, so their goroutines do not leak. Termination
 // follows spawn order, which keeps teardown deterministic regardless of
-// scheduler mode.
+// scheduler mode. Once every goroutine has exited the resume channels are
+// recycled for future worlds.
 func (w *World) killAll() {
 	for _, a := range w.actors {
 		if a.state == done || a.state == killed {
@@ -353,5 +377,29 @@ func (w *World) killAll() {
 		a.state = killed
 		a.resume <- struct{}{}
 		<-w.yield
+	}
+	// Every actor goroutine has now exited (finished actors yielded for
+	// the last time before killAll began; killed ones were just joined via
+	// w.yield), so no channel below can ever be touched again.
+	for _, a := range w.actors {
+		if a.resume != nil {
+			resumePool.Put(a.resume)
+			a.resume = nil
+		}
+	}
+}
+
+// Reserve pre-sizes the actor table and ready queue for n actors, saving
+// the append-doubling churn of worlds whose population is known up front.
+func (w *World) Reserve(n int) {
+	if cap(w.actors) < n {
+		actors := make([]*Actor, len(w.actors), n)
+		copy(actors, w.actors)
+		w.actors = actors
+	}
+	if !w.linearScan && cap(w.heap) < n {
+		heap := make([]*Actor, len(w.heap), n)
+		copy(heap, w.heap)
+		w.heap = heap
 	}
 }

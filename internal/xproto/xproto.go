@@ -153,9 +153,14 @@ func (m *Message) EncodedSize() int {
 	return 1 + 1 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 1 + 8 + 2 + len(m.Name) + m.List.EncodedSize()
 }
 
-// Encode serializes the message.
+// Encode serializes the message into a fresh buffer.
 func (m *Message) Encode() []byte {
-	buf := make([]byte, 0, m.EncodedSize())
+	return m.AppendEncode(make([]byte, 0, m.EncodedSize()))
+}
+
+// AppendEncode serializes the message onto buf (normally a recycled
+// buffer, see Inbox.GetBuf) and returns the extended slice.
+func (m *Message) AppendEncode(buf []byte) []byte {
 	buf = append(buf, byte(m.Type), byte(m.Status))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Src))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Dst))
@@ -242,9 +247,19 @@ type Delivery struct {
 // future-work distributed interrupt handling is enabled) Gets from it,
 // blocking while empty.
 type Inbox struct {
-	name    string
+	name string
+	// q[head:] holds the pending deliveries. Dequeue advances head instead
+	// of re-slicing q away from its array, so the backing array (and its
+	// Delivery slots) is reused once the queue drains — the steady state of
+	// a kernel worker that keeps up with its senders.
 	q       []Delivery
+	head    int
 	waiters []*sim.Actor
+	// free recycles wire buffers between the inbox's senders and its
+	// receiver: a delivered buffer is dead once decoded (Decode copies the
+	// name and frame list out), so the receiver Recycles it and the next
+	// sender GetBufs it back instead of allocating.
+	free [][]byte
 }
 
 // NewInbox returns an empty inbox with a diagnostic name.
@@ -253,12 +268,47 @@ func NewInbox(name string) *Inbox { return &Inbox{name: name} }
 // Put enqueues an encoded message and wakes one waiting kernel actor, if
 // any. The caller is the sending/forwarding actor.
 func (in *Inbox) Put(a *sim.Actor, buf []byte, via Link) {
+	if in.head > 0 && in.head == len(in.q) {
+		in.q = in.q[:0]
+		in.head = 0
+	}
 	in.q = append(in.q, Delivery{Buf: buf, Via: via, At: a.Now()})
 	if n := len(in.waiters); n > 0 {
 		w := in.waiters[0]
 		in.waiters = in.waiters[1:]
 		a.Unblock(w)
 	}
+}
+
+// maxFreeBufs bounds the per-inbox buffer free list. Kernel inboxes see
+// at most a handful of in-flight messages, so a small cache captures the
+// steady state without hoarding the occasional large attach response.
+const maxFreeBufs = 8
+
+// GetBuf returns a recycled encode buffer of length 0 and capacity >= n,
+// or a fresh one. Senders targeting this inbox use it with
+// Message.AppendEncode so request/response traffic reuses the same few
+// buffers instead of allocating per message.
+func (in *Inbox) GetBuf(n int) []byte {
+	for i := len(in.free) - 1; i >= 0; i-- {
+		if b := in.free[i]; cap(b) >= n {
+			in.free[i] = in.free[len(in.free)-1]
+			in.free[len(in.free)-1] = nil
+			in.free = in.free[:len(in.free)-1]
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// Recycle returns a delivered wire buffer to the free list. Only call it
+// once the delivery's bytes are dead — i.e. after Decode, which copies
+// every variable-length field out of the buffer.
+func (in *Inbox) Recycle(buf []byte) {
+	if buf == nil || len(in.free) >= maxFreeBufs {
+		return
+	}
+	in.free = append(in.free, buf)
 }
 
 // PutShutdown enqueues a poison delivery (nil Buf): the receiving kernel
@@ -269,7 +319,7 @@ func (in *Inbox) PutShutdown(a *sim.Actor) { in.Put(a, nil, nil) }
 // inbox is empty. Multiple actors may wait concurrently; each delivery
 // goes to exactly one. A Delivery with nil Buf is a shutdown request.
 func (in *Inbox) Get(a *sim.Actor) Delivery {
-	for len(in.q) == 0 {
+	for in.Len() == 0 {
 		in.waiters = append(in.waiters, a)
 		a.Block("inbox " + in.name)
 		// Remove ourselves if a spurious wakeup left us queued twice.
@@ -280,15 +330,20 @@ func (in *Inbox) Get(a *sim.Actor) Delivery {
 			}
 		}
 	}
-	d := in.q[0]
-	in.q = in.q[1:]
+	d := in.q[in.head]
+	in.q[in.head] = Delivery{} // drop the buffer reference at the consumed slot
+	in.head++
+	if in.head == len(in.q) {
+		in.q = in.q[:0]
+		in.head = 0
+	}
 	if d.Buf != nil {
 		if obs := a.World().Observer(); obs != nil {
-			obs.QueueWait("inbox:"+in.name, a, d.At, a.Now(), len(in.q))
+			obs.QueueWait("inbox:"+in.name, a, d.At, a.Now(), in.Len())
 		}
 	}
 	return d
 }
 
 // Len reports the number of queued deliveries.
-func (in *Inbox) Len() int { return len(in.q) }
+func (in *Inbox) Len() int { return len(in.q) - in.head }
