@@ -7,8 +7,17 @@ GO ?= go
 # tier-1 test suite, and the coverage floors.
 check: vet build race test fuzz cover
 
+# vet is three gates: formatting, the stock toolchain vet, and
+# xemem-vet — the in-tree analyzer suite (cmd/xemem-vet) that enforces
+# the simulator's determinism, cost-charging, resource-pairing,
+# map-ordering, and hook-state invariants.
 vet:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/xemem-vet ./...
 
 build:
 	$(GO) build ./...
@@ -33,10 +42,10 @@ fuzz:
 	$(GO) test ./internal/rbtree -fuzz=FuzzOps -fuzztime=10s
 	$(GO) test ./internal/radix -fuzz=FuzzOps -fuzztime=10s
 
-# Coverage floors for the load-bearing packages: the sim engine and the
-# XPMEM API layer.
+# Coverage floors for the load-bearing packages: the sim engine, the
+# XPMEM API layer, and the cross-enclave plumbing (router, nameserver).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/sim/... ./internal/xpmem
+	$(GO) test -coverprofile=cover.out ./internal/sim/... ./internal/xpmem ./internal/router ./internal/nameserver
 	$(GO) tool cover -func=cover.out | tail -1
 	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
 	floor=80; \

@@ -98,14 +98,14 @@ func main() {
 	}
 
 	run := func(name string, fn func() (fmt.Stringer, error)) {
-		start := time.Now()
+		start := time.Now() //xemem:wallclock -- reports wall time of figure regeneration to the operator
 		res, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Println(res.String())
-		fmt.Printf("[%s regenerated in %.1fs wall time]\n\n", name, time.Since(start).Seconds())
+		fmt.Printf("[%s regenerated in %.1fs wall time]\n\n", name, time.Since(start).Seconds()) //xemem:wallclock -- reports wall time of figure regeneration to the operator
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }

@@ -1,0 +1,130 @@
+// Package analysis is xemem's in-tree static-analysis framework: a
+// stdlib-only (go/parser + go/ast + go/types, no x/tools) driver core
+// plus the domain analyzers that mechanically enforce the simulator's
+// correctness invariants — determinism of virtual time, cost-model
+// charging, resource pairing, exporter map ordering, and hook-variable
+// discipline. The cmd/xemem-vet driver loads the module, type-checks
+// every package, runs the analyzers, applies //xemem: suppression
+// directives, and reports what survives.
+//
+// Invariants are enforced conservatively and syntactically: an analyzer
+// may miss an exotic violation, but every diagnostic it does emit is
+// intended to be actionable, and every intentional exception must carry
+// an explicit, reasoned suppression directive in the source.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: an invariant violation (or directive
+// misuse) at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package plus the whole-module
+// context cross-package analyzers need.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Module.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker. Run is invoked once per package in
+// import-path order; Finish, when non-nil, is invoked once after every
+// package has been visited, for whole-module conclusions (e.g. "this
+// cost constant is charged nowhere").
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+
+	Finish func(m *Module, report func(Diagnostic))
+}
+
+// All returns the full analyzer suite in fixed order. A fresh slice of
+// fresh analyzer states is returned on every call: analyzers that carry
+// cross-package state (chargecheck) are not reusable across module
+// loads.
+func All() []*Analyzer {
+	return []*Analyzer{
+		newDeterminism(),
+		newChargecheck(),
+		newPaircheck(),
+		newMaporder(),
+		newHookstate(),
+	}
+}
+
+// Names reports the analyzer names in suite order (the vocabulary the
+// //xemem:allow directive accepts).
+func Names() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Run executes the given analyzers over a loaded module, applies the
+// suppression directives found in the module's sources, and returns the
+// surviving diagnostics sorted by position. Directive misuse (missing
+// reason, unknown analyzer name, misplaced wallclock) is reported under
+// the "directive" pseudo-analyzer and is never suppressible.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	sup := collectDirectives(m, analyzers)
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	for _, a := range analyzers {
+		for _, pkg := range m.Pkgs {
+			a.Run(&Pass{Analyzer: a, Module: m, Pkg: pkg, report: report})
+		}
+		if a.Finish != nil {
+			a.Finish(m, report)
+		}
+	}
+
+	kept := sup.errors // directive misuse is itself diagnosed
+	for _, d := range diags {
+		if !sup.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}

@@ -1,0 +1,152 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xemem/internal/analysis"
+)
+
+// want is one expected diagnostic: a position (file relative to the
+// fixture root, 1-based line), the analyzer that must report it, and a
+// substring its message must contain.
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+}
+
+// fixtureTests drives every analyzer over its fixture mini-module and
+// asserts the exact diagnostic set: each triggering construct is
+// flagged, each suppressed or idiomatic construct is silent (silence is
+// asserted implicitly — an unexpected diagnostic fails the test).
+var fixtureTests = []struct {
+	fixture string
+	wants   []want
+}{
+	{
+		fixture: "determinism",
+		wants: []want{
+			{"internal/sim/clock.go", 6, "determinism", "import of math/rand"},
+			{"internal/sim/clock.go", 13, "determinism", "time.Now reads the host clock"},
+			{"internal/sim/clock.go", 14, "determinism", "time.Since reads the host clock"},
+			{"internal/sim/clock.go", 20, "determinism", "os.Getpid is host/process-dependent"},
+			// bench.go: both reads carry //xemem:wallclock — silent.
+		},
+	},
+	{
+		fixture: "chargecheck",
+		wants: []want{
+			// Used flows into Charge through two locals in sub.DoWork;
+			// Excused carries a directive. Only Dead survives.
+			{"internal/sim/sim.go", 15, "chargecheck", "Costs.Dead is never charged"},
+			{"internal/sim/sim.go", 33, "chargecheck", "writes Actor.now directly"},
+			// WarpExcused (line 38) is suppressed end-of-line.
+		},
+	},
+	{
+		fixture: "paircheck",
+		wants: []want{
+			{"internal/app/app.go", 9, "paircheck", "Get result discarded"},
+			{"internal/app/app.go", 14, "paircheck", "Attach handle bound to _"},
+			{"internal/app/app.go", 20, "paircheck", `Get handle "apid" is never used again`},
+			// LeakExcused is suppressed; Paired/Transfers/TransfersVar
+			// release or transfer ownership and must stay silent.
+		},
+	},
+	{
+		fixture: "maporder",
+		wants: []want{
+			{"internal/trace/trace.go", 13, "maporder", "ranges over a map on an exporter-feeding path"},
+			// WriteSorted uses the collect-then-sort idiom, WriteExcused is
+			// suppressed, and acct.Total is outside the exporter scope.
+		},
+	},
+	{
+		fixture: "hookstate",
+		wants: []want{
+			{"internal/lib/lib.go", 11, "hookstate", "package-level hook lib.Hook"},
+			{"internal/other/other.go", 10, "hookstate", "package-level hook lib.Hook"},
+			// InstallExcused is suppressed; cmd/tool is package main;
+			// Counter is not func-typed.
+		},
+	},
+	{
+		fixture: "directive",
+		wants: []want{
+			{"internal/lib/lib.go", 7, "directive", "needs a ' -- <reason>'"},
+			{"internal/lib/lib.go", 12, "directive", `unknown analyzer "frobcheck"`},
+			{"internal/lib/lib.go", 18, "directive", "only be excused via //xemem:wallclock"},
+			{"internal/lib/lib.go", 23, "directive", `unknown //xemem: directive "//xemem:frobnicate"`},
+			{"internal/lib/lib.go", 28, "directive", "needs a ' -- <reason>'"},
+		},
+	},
+}
+
+func TestFixtures(t *testing.T) {
+	for _, tt := range fixtureTests {
+		t.Run(tt.fixture, func(t *testing.T) {
+			m, err := analysis.Load(filepath.Join("testdata", tt.fixture))
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			diags := analysis.Run(m, analysis.All())
+
+			matched := make([]bool, len(diags))
+			for _, w := range tt.wants {
+				found := false
+				for i, d := range diags {
+					if matched[i] {
+						continue
+					}
+					rel, err := filepath.Rel(m.Root, d.Pos.Filename)
+					if err != nil {
+						rel = d.Pos.Filename
+					}
+					if filepath.ToSlash(rel) == w.file && d.Pos.Line == w.line &&
+						d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+						matched[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("missing diagnostic: %s:%d: %s: ...%s...", w.file, w.line, w.analyzer, w.substr)
+				}
+			}
+			for i, d := range diags {
+				if !matched[i] {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestWallclockSuppressionForms pins the two directive placements the
+// determinism fixture relies on: end-of-line (suppresses its own line)
+// and standalone comment (suppresses the line below).
+func TestWallclockSuppressionForms(t *testing.T) {
+	m, err := analysis.Load(filepath.Join("testdata", "determinism"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, d := range analysis.Run(m, analysis.All()) {
+		if filepath.Base(d.Pos.Filename) == "bench.go" {
+			t.Errorf("annotated wall-clock read still flagged: %s", d)
+		}
+	}
+}
+
+// TestNames pins the allow-directive vocabulary: the analyzer names are
+// load-bearing in source annotations across the tree, so renaming one is
+// a breaking change this test makes deliberate.
+func TestNames(t *testing.T) {
+	got := strings.Join(analysis.Names(), " ")
+	const only = "determinism chargecheck paircheck maporder hookstate"
+	if got != only {
+		t.Fatalf("analyzer suite = %q, want %q", got, only)
+	}
+}

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The chargecheck analyzer guards the §4 cost model's integrity in two
+// directions:
+//
+//  1. Dead cost constants: every field of sim.Costs must somewhere flow
+//     into a charge — an Actor.Charge/ChargeN/Advance/AdvanceN, a
+//     Resource acquisition (Acquire/AcquireOp/TryAcquire/Exec), or a
+//     sim.CopyTime conversion feeding one. A calibrated constant nothing
+//     charges is drift waiting to happen: the model documents a cost the
+//     simulation silently omits. Flow is tracked conservatively and
+//     syntactically per function (through local assignments, returns,
+//     stores, and composite literals), so indirect plumbing counts.
+//
+//  2. Clock bypasses: inside the engine package, an Actor's virtual
+//     clock (the `now` field) may only be mutated by the charge path —
+//     Advance/AdvanceN — and the scheduler's handoff points
+//     (Unblock/Spawn). Any other write desynchronizes actors from the
+//     ready-queue ordering invariant.
+type chargecheck struct {
+	inited  bool
+	fields  []*types.Var
+	charged map[*types.Var]bool
+	fset    *token.FileSet
+}
+
+// chargeSinks are the call names whose arguments constitute "being
+// charged". Matching is by name, deliberately over-approximate: a cost
+// that reaches any same-named sink is assumed charged (chargecheck never
+// false-positives on plumbing style, at the price of missing exotic
+// leaks).
+var chargeSinks = map[string]bool{
+	"Charge": true, "ChargeN": true,
+	"Advance": true, "AdvanceN": true, "AdvanceTo": true, "Sleep": true,
+	"Acquire": true, "AcquireOp": true, "TryAcquire": true, "Exec": true,
+	"CopyTime": true,
+}
+
+// clockPath are the sim functions allowed to write Actor.now directly:
+// the two advance primitives plus the scheduler handoffs that
+// re-baseline a woken or newborn actor.
+var clockPath = map[string]bool{
+	"Advance": true, "AdvanceN": true, "Unblock": true, "Spawn": true, "SpawnAt": true,
+}
+
+func newChargecheck() *Analyzer {
+	c := &chargecheck{charged: make(map[*types.Var]bool)}
+	a := &Analyzer{
+		Name: "chargecheck",
+		Doc:  "flags sim.Costs fields never charged through Charge/ChargeN/AdvanceN or a resource acquisition, and Actor clock writes that bypass the charge path",
+	}
+	a.Run = c.run
+	a.Finish = c.finish
+	return a
+}
+
+func (c *chargecheck) run(pass *Pass) {
+	c.ensureInit(pass.Module)
+	sim := isSimPackage(pass.Module, pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.markChargedFields(pass.Pkg.Info, fd)
+			if sim {
+				checkClockWrites(pass, fd)
+			}
+		}
+	}
+}
+
+// ensureInit locates sim.Costs in the module under analysis and records
+// its fields. Works for the real module and for fixture mini-modules
+// alike: the engine package is <module>/internal/sim by convention.
+func (c *chargecheck) ensureInit(m *Module) {
+	if c.inited {
+		return
+	}
+	c.inited = true
+	c.fset = m.Fset
+	pkg := m.Lookup(m.Path + "/internal/sim")
+	if pkg == nil || pkg.Types == nil {
+		return
+	}
+	obj := pkg.Types.Scope().Lookup("Costs")
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		c.fields = append(c.fields, st.Field(i))
+	}
+}
+
+// markChargedFields computes, for one function, the source regions whose
+// expressions flow toward a charge (sink arguments, returns, stores,
+// composite literals, and — transitively — the right-hand sides feeding
+// locals that do), then marks every Costs field read inside them.
+func (c *chargecheck) markChargedFields(info *types.Info, fd *ast.FuncDecl) {
+	if len(c.fields) == 0 {
+		return
+	}
+	fieldSet := make(map[types.Object]bool, len(c.fields))
+	for _, f := range c.fields {
+		fieldSet[f] = true
+	}
+
+	var zones []posRange
+	type assignment struct {
+		lhs map[types.Object]bool
+		rhs []ast.Expr
+	}
+	var assigns []assignment
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if chargeSinks[calleeName(n)] {
+				for _, arg := range n.Args {
+					zones = append(zones, rangeOf(arg))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				zones = append(zones, rangeOf(r))
+			}
+		case *ast.CompositeLit:
+			zones = append(zones, rangeOf(n))
+		case *ast.AssignStmt:
+			a := assignment{lhs: make(map[types.Object]bool)}
+			storing := false
+			for _, l := range n.Lhs {
+				switch l := l.(type) {
+				case *ast.Ident:
+					if obj := info.Defs[l]; obj != nil {
+						a.lhs[obj] = true
+					} else if obj := info.Uses[l]; obj != nil {
+						a.lhs[obj] = true
+					}
+				default:
+					storing = true // selector/index store: escapes the function's locals
+				}
+			}
+			a.rhs = n.Rhs
+			assigns = append(assigns, a)
+			if storing {
+				for _, r := range n.Rhs {
+					zones = append(zones, rangeOf(r))
+				}
+			}
+		case *ast.ValueSpec:
+			a := assignment{lhs: make(map[types.Object]bool)}
+			for _, name := range n.Names {
+				if obj := info.Defs[name]; obj != nil {
+					a.lhs[obj] = true
+				}
+			}
+			a.rhs = n.Values
+			assigns = append(assigns, a)
+		}
+		return true
+	})
+
+	// Seed the taint set with every object read inside a zone, then
+	// propagate backward through local assignments until nothing changes:
+	// if a tainted local is assigned from an expression, whatever feeds
+	// that expression is tainted too.
+	tainted := make(map[types.Object]bool)
+	for _, z := range zones {
+		collectObjectsIn(info, fd.Body, z, tainted)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, a := range assigns {
+			hit := false
+			for obj := range a.lhs {
+				if tainted[obj] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			for _, r := range a.rhs {
+				before := len(tainted)
+				identObjects(info, r, tainted)
+				if len(tainted) != before {
+					changed = true
+				}
+			}
+		}
+	}
+	for _, a := range assigns {
+		for obj := range a.lhs {
+			if tainted[obj] {
+				for _, r := range a.rhs {
+					zones = append(zones, rangeOf(r))
+				}
+				break
+			}
+		}
+	}
+
+	// Finally: a Costs field selected inside any charged zone is charged.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || !fieldSet[s.Obj()] {
+			return true
+		}
+		if inAny(zones, sel.Pos()) {
+			c.charged[s.Obj().(*types.Var)] = true
+		}
+		return true
+	})
+}
+
+// collectObjectsIn gathers the objects of identifiers lying inside zone.
+func collectObjectsIn(info *types.Info, root ast.Node, zone posRange, into map[types.Object]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && zone.contains(id.Pos()) {
+			if obj := info.Uses[id]; obj != nil {
+				into[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkClockWrites flags direct mutations of an Actor's `now` field
+// outside the charge path.
+func checkClockWrites(pass *Pass, fd *ast.FuncDecl) {
+	if clockPath[fd.Name.Name] {
+		return
+	}
+	info := pass.Pkg.Info
+	flag := func(sel *ast.SelectorExpr) {
+		if sel.Sel.Name != "now" {
+			return
+		}
+		if t := info.Types[sel.X].Type; t == nil || namedTypeName(t) != "Actor" {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"%s writes Actor.now directly, bypassing the charge path; use Advance/AdvanceN (or Charge/ChargeN for attributed costs)", funcName(fd))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if sel, ok := l.(*ast.SelectorExpr); ok {
+					flag(sel)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok {
+				flag(sel)
+			}
+		}
+		return true
+	})
+}
+
+// finish reports the cost constants nothing in the module charges.
+func (c *chargecheck) finish(m *Module, report func(Diagnostic)) {
+	for _, f := range c.fields {
+		if c.charged[f] {
+			continue
+		}
+		report(Diagnostic{
+			Pos:      m.Fset.Position(f.Pos()),
+			Analyzer: "chargecheck",
+			Message: "cost constant Costs." + f.Name() + " is never charged: no flow into Charge/ChargeN/Advance*/Acquire*/Exec/CopyTime anywhere in the module" +
+				" — wire it into a substrate cost path or document the exception with //xemem:allow chargecheck -- <reason>",
+		})
+	}
+}

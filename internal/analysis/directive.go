@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// Two comment forms silence diagnostics, both requiring a reason:
+//
+//	//xemem:allow <analyzer> -- <reason>
+//	//xemem:wallclock -- <reason>
+//
+// A directive written at the end of a code line suppresses that line's
+// findings; a directive on a line of its own (including the last line of
+// a doc comment) suppresses the line below it. The determinism analyzer
+// is special-cased per the invariant it guards: its findings are real
+// uses of host time and may only be excused as deliberate wall-clock
+// measurement via //xemem:wallclock — //xemem:allow determinism is
+// rejected. Malformed directives (missing " -- ", empty reason, unknown
+// analyzer) are themselves reported under the "directive" name and
+// cannot be suppressed.
+
+const (
+	allowPrefix     = "//xemem:allow"
+	wallclockPrefix = "//xemem:wallclock"
+)
+
+// suppressions indexes which analyzers are silenced on which lines, plus
+// the diagnostics produced by malformed directives.
+type suppressions struct {
+	byLine map[lineKey]map[string]bool
+	errors []Diagnostic
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	return s.byLine[lineKey{d.Pos.Filename, d.Pos.Line}][d.Analyzer]
+}
+
+func (s *suppressions) add(file string, line int, analyzer string) {
+	k := lineKey{file, line}
+	if s.byLine[k] == nil {
+		s.byLine[k] = make(map[string]bool)
+	}
+	s.byLine[k][analyzer] = true
+}
+
+func (s *suppressions) errorf(pos token.Position, format string, args ...any) {
+	s.errors = append(s.errors, Diagnostic{Pos: pos, Analyzer: "directive", Message: fmt.Sprintf(format, args...)})
+}
+
+// collectDirectives scans every comment in the module for //xemem:
+// directives and builds the suppression index.
+func collectDirectives(m *Module, analyzers []*Analyzer) *suppressions {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup := &suppressions{byLine: make(map[lineKey]map[string]bool)}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					sup.directive(m, c.Pos(), c.Text, known)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// directive parses one comment, recording a suppression or an error.
+func (s *suppressions) directive(m *Module, pos token.Pos, text string, known map[string]bool) {
+	if !strings.HasPrefix(text, "//xemem:") {
+		return
+	}
+	p := m.Fset.Position(pos)
+	var analyzer, body string
+	switch {
+	case strings.HasPrefix(text, wallclockPrefix):
+		analyzer = "determinism"
+		body = strings.TrimSpace(strings.TrimPrefix(text, wallclockPrefix))
+	case strings.HasPrefix(text, allowPrefix):
+		body = strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+		analyzer, body, _ = strings.Cut(body, " ")
+		body = strings.TrimSpace(body)
+		switch {
+		case analyzer == "" || strings.HasPrefix(analyzer, "--"):
+			s.errorf(p, "//xemem:allow needs an analyzer name: //xemem:allow <analyzer> -- <reason>")
+			return
+		case analyzer == "determinism":
+			s.errorf(p, "determinism findings may only be excused via //xemem:wallclock -- <reason>")
+			return
+		case !known[analyzer]:
+			s.errorf(p, "//xemem:allow names unknown analyzer %q", analyzer)
+			return
+		}
+	default:
+		s.errorf(p, "unknown //xemem: directive %q", firstField(text))
+		return
+	}
+	reason, ok := strings.CutPrefix(body, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		s.errorf(p, "//xemem: directive needs a ' -- <reason>' explaining the exception")
+		return
+	}
+	s.add(p.Filename, p.Line, analyzer)
+	if wholeLine(m, p) {
+		s.add(p.Filename, p.Line+1, analyzer)
+	}
+}
+
+// wholeLine reports whether the directive at p is the only thing on its
+// source line (i.e. a standalone comment, whose suppression applies to
+// the line below).
+func wholeLine(m *Module, p token.Position) bool {
+	line := m.Line(p.Filename, p.Line)
+	return strings.HasPrefix(strings.TrimSpace(line), "//")
+}
+
+func firstField(text string) string {
+	if f := strings.Fields(text); len(f) > 0 {
+		return f[0]
+	}
+	return text
+}

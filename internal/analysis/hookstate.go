@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The hookstate analyzer guards the "a World owns everything it
+// touches" audit (PR 3): package-level hook variables — func-typed
+// globals like experiments.Observe/ObserveCell — are process-wide
+// mutable state, and library code that writes them mid-experiment
+// couples unrelated worlds together (the Fig6Explain bug class: a
+// library function swapped the package hook and broke the parallel
+// sweep's isolation).
+//
+// The rule is mechanical: assignments to package-level variables of
+// function type are allowed only in package main — the driver binaries
+// that own process configuration and install registration closures
+// (trace.Set.Hook/CellHook) at startup. Everywhere else, observers must
+// be threaded explicitly (World.SetObserver, function parameters).
+// Tests are outside xemem-vet's scope and may save/restore hooks
+// freely.
+func newHookstate() *Analyzer {
+	a := &Analyzer{
+		Name: "hookstate",
+		Doc:  "flags writes to package-level func-typed hook variables outside package main; library code must thread observers explicitly",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Types == nil || pass.Pkg.Types.Name() == "main" {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			checkHookWrites(pass, f)
+		}
+	}
+	return a
+}
+
+func checkHookWrites(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range as.Lhs {
+			var id *ast.Ident
+			switch l := l.(type) {
+			case *ast.Ident:
+				id = l
+			case *ast.SelectorExpr:
+				id = l.Sel
+			default:
+				continue
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				continue // not a package-level variable
+			}
+			if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+				continue
+			}
+			pass.Reportf(l.Pos(),
+				"write to package-level hook %s.%s outside package main: hooks are installed once by driver binaries; library code must thread observers explicitly (World.SetObserver or parameters)",
+				v.Pkg().Name(), v.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The paircheck analyzer guards resource pairing on the XPMEM API
+// surface: a Get returns an access permit (apid) that Release must
+// retire, an Attach returns a mapping (va) that Detach must unmap.
+// sim.Resource/Core acquisitions are self-releasing by construction
+// (Acquire occupies the resource for a fixed virtual duration and
+// returns only when it ends), so the leak-prone handles in this
+// codebase are the protocol-level ones.
+//
+// The check is conservatively syntactic, per top-level function
+// (closures included — experiment bodies acquire inside actor
+// closures): a handle that is returned, stored, or passed onward is
+// assumed to transfer ownership and is never flagged. What is flagged
+// is a handle no path can ever release:
+//
+//   - the acquire's results are discarded outright (expression
+//     statement, or the handle bound to _), or
+//   - the handle is bound to a local that is never mentioned again —
+//     including by a deferred release.
+type pairSpec struct {
+	recv    map[string]bool // receiver type names the pair applies to
+	acquire string
+	release string
+	noun    string // what the handle represents, for diagnostics
+}
+
+var pairs = []pairSpec{
+	{
+		recv:    map[string]bool{"Session": true, "Module": true},
+		acquire: "Get", release: "Release", noun: "access permit (apid)",
+	},
+	{
+		recv:    map[string]bool{"Session": true, "Module": true},
+		acquire: "Attach", release: "Detach", noun: "attachment address",
+	},
+}
+
+func newPaircheck() *Analyzer {
+	a := &Analyzer{
+		Name: "paircheck",
+		Doc:  "flags XPMEM Get/Attach handles that no path can Release/Detach (discarded or never used); escaped handles transfer ownership and are exempt",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkPairs(pass, fd)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// pairFor matches a call against the pair table, requiring resolved
+// receiver type information (no types ⇒ no finding: conservative).
+func pairFor(info *types.Info, call *ast.CallExpr) *pairSpec {
+	name := calleeName(call)
+	for i := range pairs {
+		if pairs[i].acquire == name && pairs[i].recv[recvTypeName(info, call)] {
+			return &pairs[i]
+		}
+	}
+	return nil
+}
+
+func checkPairs(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Count identifier uses per object across the whole declaration so a
+	// later pass can ask "is this handle ever read again?".
+	uses := make(map[types.Object]int)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				uses[obj]++
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if p := pairFor(info, call); p != nil {
+					pass.Reportf(call.Pos(),
+						"%s result discarded: the %s can never be paired with %s", p.acquire, p.noun, p.release)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			p := pairFor(info, call)
+			if p == nil || len(n.Lhs) == 0 {
+				return true
+			}
+			handle, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored straight into a field/element: escapes
+			}
+			if handle.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"%s handle bound to _: the %s can never be paired with %s", p.acquire, p.noun, p.release)
+				return true
+			}
+			obj := info.Defs[handle]
+			if obj == nil {
+				// Plain assignment to an existing variable (possibly
+				// captured or package-level): treat as escaping.
+				return true
+			}
+			if uses[obj] == 0 {
+				pass.Reportf(call.Pos(),
+					"%s handle %q is never used again: no path (including defer) pairs it with %s", p.acquire, handle.Name, p.release)
+			}
+		}
+		return true
+	})
+}

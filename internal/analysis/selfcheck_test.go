@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"xemem/internal/analysis"
+)
+
+// TestRealModuleClean is the merge gate behind the merge gate: it runs
+// the full analyzer suite over the real xemem module and asserts zero
+// diagnostics, so a PR that introduces a violation (or a malformed
+// suppression directive) fails `go test ./...` even if it skips
+// `make check`.
+func TestRealModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module against the source importer")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.Load(root)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", root, err)
+	}
+	if m.Path != "xemem" {
+		t.Fatalf("loaded module %q from %s, want xemem (test run from an unexpected directory?)", m.Path, root)
+	}
+
+	// A healthy tree type-checks without soft errors; degraded type info
+	// would silently blunt the analyzers, so it is a failure here.
+	for _, pkg := range m.Pkgs {
+		for _, err := range pkg.TypeErrors {
+			t.Errorf("type error in %s: %v", pkg.Path, err)
+		}
+	}
+
+	for _, d := range analysis.Run(m, analysis.All()) {
+		t.Errorf("xemem-vet finding: %s", d)
+	}
+}

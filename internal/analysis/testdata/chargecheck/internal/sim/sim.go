@@ -1,0 +1,39 @@
+// Package sim is a chargecheck fixture: a miniature cost model and
+// actor with one live constant, one dead constant, one excused
+// constant, and one clock-bypassing method.
+package sim
+
+// Time is simulated nanoseconds.
+type Time int64
+
+// Costs is the fixture cost model.
+type Costs struct {
+	// Used flows into a Charge through a local variable.
+	Used Time
+
+	// Dead is charged nowhere: the analyzer must flag it.
+	Dead Time
+
+	// Excused is also charged nowhere, but carries a suppression.
+	//
+	//xemem:allow chargecheck -- fixture: deliberately unwired to prove the directive works
+	Excused Time
+}
+
+// Actor is the fixture actor.
+type Actor struct{ now Time }
+
+// Advance is the charge path.
+func (a *Actor) Advance(d Time) { a.now += d }
+
+// Charge is the labelled charge path.
+func (a *Actor) Charge(op string, d Time) { a.Advance(d) }
+
+// Warp writes the clock directly: the analyzer must flag it.
+func (a *Actor) Warp(t Time) { a.now = t }
+
+// WarpExcused also writes the clock directly, with a reasoned
+// suppression.
+func (a *Actor) WarpExcused(t Time) {
+	a.now = t //xemem:allow chargecheck -- fixture: suppressed clock write
+}

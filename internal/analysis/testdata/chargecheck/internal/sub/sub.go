@@ -1,0 +1,12 @@
+// Package sub is the fixture substrate: it charges Costs.Used through
+// an intermediate local, the flow chargecheck must follow.
+package sub
+
+import "fixture/internal/sim"
+
+// DoWork charges c.Used indirectly: field → local → arithmetic → Charge.
+func DoWork(a *sim.Actor, c *sim.Costs, pages int) {
+	perPage := c.Used
+	total := sim.Time(pages) * perPage
+	a.Charge("work", total)
+}

@@ -1,0 +1,21 @@
+// Package sim is a determinism fixture: every construct here reads
+// host state the analyzer must flag.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Elapsed reads the host clock twice.
+func Elapsed() int64 {
+	start := time.Now()
+	return int64(time.Since(start))
+}
+
+// Jitter mixes the global rand stream and process identity into what
+// pretends to be simulated state.
+func Jitter() int {
+	return rand.Intn(10) + os.Getpid()
+}

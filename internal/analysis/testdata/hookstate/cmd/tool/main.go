@@ -1,0 +1,9 @@
+// Command tool is the fixture driver binary: hook registration in
+// package main is the one blessed location.
+package main
+
+import "fixture/internal/lib"
+
+func main() {
+	lib.Hook = func(int) {}
+}

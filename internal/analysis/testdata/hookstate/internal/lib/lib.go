@@ -1,0 +1,24 @@
+// Package lib is a hookstate fixture: a package-level hook variable and
+// the library-side writes that must be flagged.
+package lib
+
+// Hook is the package-level observer hook.
+var Hook func(int)
+
+// Install writes the hook from library code: flagged even in the
+// declaring package (the Fig6Explain bug class).
+func Install(f func(int)) {
+	Hook = f
+}
+
+// InstallExcused is the same write with a reasoned suppression.
+func InstallExcused(f func(int)) {
+	Hook = f //xemem:allow hookstate -- fixture: registration helper invoked only by driver binaries before any world runs
+}
+
+// Counter is a non-func package variable: writes to it are out of
+// scope.
+var Counter int
+
+// Bump mutates ordinary package state, which hookstate ignores.
+func Bump() { Counter++; Counter = Counter + 1 }

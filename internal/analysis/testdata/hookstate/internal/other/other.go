@@ -1,0 +1,12 @@
+// Package other writes a foreign package's hook from library code:
+// flagged.
+package other
+
+import "fixture/internal/lib"
+
+// Hijack swaps lib's hook mid-flight.
+func Hijack() {
+	saved := lib.Hook
+	lib.Hook = nil
+	_ = saved
+}

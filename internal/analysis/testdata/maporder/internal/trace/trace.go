@@ -1,0 +1,41 @@
+// Package trace is a maporder fixture: exporter-feeding map iteration
+// in its flagged, idiomatic, suppressed, and out-of-scope forms.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WriteBad ranges straight over a map while exporting: flagged.
+func WriteBad(m map[string]int) string {
+	out := ""
+	for k, v := range m {
+		out += fmt.Sprintf("%s=%d\n", k, v)
+	}
+	return out
+}
+
+// WriteSorted is the collect-then-sort idiom: silent.
+func WriteSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d\n", k, m[k])
+	}
+	return out
+}
+
+// WriteExcused ranges over a map with a reasoned suppression.
+func WriteExcused(m map[string]int) int {
+	total := 0
+	//xemem:allow maporder -- fixture: commutative sum, order cannot reach the export
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Package xpmem is a paircheck fixture: the acquire/release method
+// surface the analyzer pairs up.
+package xpmem
+
+// Session mirrors the real API's handle-returning surface.
+type Session struct{}
+
+// Get returns an access permit.
+func (s *Session) Get(segid int) (int, error) { return segid + 1, nil }
+
+// Release retires a permit.
+func (s *Session) Release(apid int) error { return nil }
+
+// Attach returns a mapping address.
+func (s *Session) Attach(apid int) (uintptr, error) { return uintptr(apid), nil }
+
+// Detach unmaps an attachment.
+func (s *Session) Detach(va uintptr) error { return nil }

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// posRange is a half-open source interval covering one AST subtree.
+type posRange struct{ lo, hi token.Pos }
+
+func rangeOf(n ast.Node) posRange { return posRange{n.Pos(), n.End()} }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.lo && p < r.hi }
+
+// inAny reports whether p falls inside any of the ranges.
+func inAny(ranges []posRange, p token.Pos) bool {
+	for _, r := range ranges {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// identObjects collects the type-checker objects of every identifier in
+// the subtree rooted at n.
+func identObjects(info *types.Info, n ast.Node, into map[types.Object]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				into[obj] = true
+			}
+			if obj := info.Defs[id]; obj != nil {
+				into[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// calleeName returns the bare method/function name a call dispatches to
+// ("" when the callee is not an identifier or selector).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// recvTypeName resolves the named type a method call's receiver has
+// (pointers dereferenced), or "" when unknown. For package-qualified
+// calls (pkg.Func) it returns "".
+func recvTypeName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	return namedTypeName(s.Recv())
+}
+
+// namedTypeName unwraps pointers and reports the underlying named
+// type's name, "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj().Name()
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return ""
+		}
+	}
+}
+
+// pkgNameOf resolves the import path an identifier refers to when it is
+// a package name in scope ("" otherwise).
+func pkgNameOf(info *types.Info, id *ast.Ident) string {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// funcName labels a declaration for diagnostics: method names include
+// the receiver type.
+func funcName(fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return name
+}
+
+// isSimPackage reports whether the package is the simulator engine
+// (<module>/internal/sim), where the virtual-clock invariants live.
+func isSimPackage(m *Module, p *Package) bool {
+	return p.Path == m.Path+"/internal/sim"
+}
+
+// hasSuffixPath reports whether imports path ends with the given
+// slash-separated suffix (e.g. "internal/sim").
+func hasSuffixPath(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

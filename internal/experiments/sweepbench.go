@@ -57,16 +57,16 @@ func SweepBench(seed uint64, jsonPath string) (*SweepBenchResult, error) {
 		}
 		return nil
 	}
-	start := time.Now()
+	start := time.Now() //xemem:wallclock -- host-side benchmark timer for BENCH_sweep.json
 	if err := sweepAll(1); err != nil {
 		return nil, err
 	}
-	res.SerialNs = float64(time.Since(start).Nanoseconds())
-	start = time.Now()
+	res.SerialNs = float64(time.Since(start).Nanoseconds()) //xemem:wallclock -- host-side benchmark timer for BENCH_sweep.json
+	start = time.Now()                                      //xemem:wallclock -- host-side benchmark timer for BENCH_sweep.json
 	if err := sweepAll(res.Workers); err != nil {
 		return nil, err
 	}
-	res.ParallelNs = float64(time.Since(start).Nanoseconds())
+	res.ParallelNs = float64(time.Since(start).Nanoseconds()) //xemem:wallclock -- host-side benchmark timer for BENCH_sweep.json
 	if res.ParallelNs > 0 {
 		res.Speedup = res.SerialNs / res.ParallelNs
 	}

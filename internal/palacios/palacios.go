@@ -222,8 +222,20 @@ func (vm *VM) translateOut(a *sim.Actor, gpa extent.List) (extent.List, error) {
 			rem -= take
 		}
 	}
-	a.Charge("gpa-xlate", sim.Time(visits)*vm.c.RBVisit+sim.Time(gpa.Pages())*vm.c.PalaciosXlatePerPage)
+	a.Charge("gpa-xlate", sim.Time(visits)*vm.visitCost()+sim.Time(gpa.Pages())*vm.c.PalaciosXlatePerPage)
 	return out, nil
+}
+
+// visitCost is the per-node (rb-tree, §5.3) or per-level (radix, §5.4)
+// traversal cost of the VM's memory-map structure. The radix map's
+// slightly higher per-visit cost is more than repaid by its constant
+// depth — the §5.4 future-work tradeoff TestRadixMapCheaperThanRBTree
+// quantifies.
+func (vm *VM) visitCost() sim.Time {
+	if vm.kind == Radix {
+		return vm.c.RadixVisit
+	}
+	return vm.c.RBVisit
 }
 
 type memoKey struct {
@@ -268,7 +280,7 @@ func (vm *VM) importList(a *sim.Actor, host extent.List) (extent.List, error) {
 				if err != nil {
 					return extent.List{}, err
 				}
-				spent += sim.Time(visits)*vm.c.RBVisit + sim.Time(rotations)*vm.c.RBRotate
+				spent += sim.Time(visits)*vm.visitCost() + sim.Time(rotations)*vm.c.RBRotate
 				g++
 			}
 		}
@@ -302,7 +314,7 @@ func (vm *VM) ReleaseImport(a *sim.Actor, list extent.List) error {
 			if cached, ok := vm.removeMemo[rec.memo]; ok {
 				spent += cached
 			} else {
-				spent += sim.Time(v) * vm.c.RBVisit
+				spent += sim.Time(v) * vm.visitCost()
 			}
 		} else {
 			visits := 0
@@ -313,7 +325,7 @@ func (vm *VM) ReleaseImport(a *sim.Actor, list extent.List) error {
 					return err
 				}
 			}
-			cost := sim.Time(visits) * vm.c.RBVisit
+			cost := sim.Time(visits) * vm.visitCost()
 			spent += cost
 			if rec.memo != (memoKey{}) {
 				vm.removeMemo[rec.memo] = cost

@@ -75,6 +75,8 @@ type Costs struct {
 
 	// MemCopyBW is memcpy bandwidth for bulk copies (the analytics
 	// program's shared→private copy, channel data copies).
+	//
+	//xemem:allow chargecheck -- reserved calibration anchor: the in-situ workload models its copy with per-program CopyBW params (internal/insitu) and channels charge ChanBW; kept so external cost-model consumers see the full §4 envelope
 	MemCopyBW float64
 
 	// --- Cross-enclave channels (§4.5) -----------------------------------

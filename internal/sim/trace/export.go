@@ -266,6 +266,7 @@ func (t *Tracer) metrics() metricsJSON {
 	}
 	if len(t.res) > 0 {
 		m.Resources = make(map[string]resourceJSON, len(t.res))
+		//xemem:allow maporder -- map-to-map transform; encoding/json serializes the result key-sorted
 		for name, r := range t.res {
 			util := 0.0
 			if t.final > 0 {
@@ -279,6 +280,7 @@ func (t *Tracer) metrics() metricsJSON {
 	}
 	if len(t.queues) > 0 {
 		m.Queues = make(map[string]queueJSON, len(t.queues))
+		//xemem:allow maporder -- map-to-map transform; encoding/json serializes the result key-sorted
 		for name, q := range t.queues {
 			m.Queues[name] = queueJSON{QueueMetrics: *q, WaitHist: q.WaitHist.Buckets()}
 		}
