@@ -30,8 +30,8 @@ build:
 # figure at 1, 2, and NumCPU workers with concurrent tracer
 # registration, held byte-identical to the serial runner.
 race:
-	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem ./internal/experiments/sweep
-	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain|TestParallel'
+	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem ./internal/experiments/sweep ./internal/fault
+	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain|TestParallel|TestFaultSweep'
 
 test:
 	$(GO) test ./...
@@ -53,8 +53,12 @@ cover:
 		echo "coverage $$total% is below the $$floor% floor"; exit 1; \
 	fi
 
-# Engine fast-path benchmark (BENCH_engine.json) and sweep benchmark:
-# serial vs parallel wall-clock plus hot-path allocs/op (BENCH_sweep.json).
+# Engine fast-path benchmark (BENCH_engine.json), sweep benchmark
+# (serial vs parallel wall-clock plus hot-path allocs/op,
+# BENCH_sweep.json), and the fault-injection sweep (protocol degradation
+# under message loss and enclave crashes, BENCH_fault.json — fully
+# deterministic: reruns are byte-identical).
 bench:
 	$(GO) run ./cmd/xemem-bench -json
 	$(GO) run ./cmd/xemem-bench -sweep-json
+	$(GO) run ./cmd/xemem-bench -fault-json

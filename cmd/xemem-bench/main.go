@@ -28,6 +28,7 @@ func main() {
 	fast := flag.Bool("fast", false, "reduced repetition counts for quick runs")
 	jsonOut := flag.Bool("json", false, "run the engine benchmark and write BENCH_engine.json (host wall-clock of the fast paths vs their reference implementations)")
 	sweepJSON := flag.Bool("sweep-json", false, "run the sweep benchmark and write BENCH_sweep.json (serial vs parallel wall-clock, allocs/op on the hot paths)")
+	faultJSON := flag.Bool("fault-json", false, "run the fault-injection sweep and write BENCH_fault.json (protocol degradation, failure attribution, and per-cell trace digests across drop rates and enclave crashes)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the figure sweeps (1 = serial runner; results are byte-identical at any value)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of every simulated world to this file (open in chrome://tracing or Perfetto; combine with -fast)")
 	metricsOut := flag.String("metrics", "", "write per-world contention metrics JSON to this file and print the per-figure breakdown tables")
@@ -89,6 +90,17 @@ func main() {
 		}
 		fmt.Println(res.String())
 		fmt.Println("wrote BENCH_sweep.json")
+		return
+	}
+
+	if *faultJSON {
+		res, err := experiments.FaultSweep(*seed, 0, *parallel, "BENCH_fault.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Println("wrote BENCH_fault.json")
 		return
 	}
 

@@ -120,11 +120,13 @@ func main() {
 			segid = s
 			return true
 		})
-		apid, err := anSess.Get(a, segid, xpmem.PermRead|xpmem.PermWrite)
+		apid, err := anSess.GetWith(a, segid, xpmem.GetOpts{Perm: xpmem.PermRead | xpmem.PermWrite})
 		if err != nil {
 			log.Fatal(err)
 		}
-		va, err := anSess.Attach(a, segid, apid, 0, regionBytes, xpmem.PermRead|xpmem.PermWrite)
+		va, err := anSess.AttachWith(a, segid, apid, xpmem.AttachOpts{
+			Bytes: regionBytes, Perm: xpmem.PermRead | xpmem.PermWrite,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -55,12 +55,14 @@ func main() {
 			segid = s
 			return true
 		})
-		apid, err := consumer.Get(a, segid, xpmem.PermRead|xpmem.PermWrite)
+		apid, err := consumer.GetWith(a, segid, xpmem.GetOpts{Perm: xpmem.PermRead | xpmem.PermWrite})
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := a.Now()
-		va, err := consumer.Attach(a, segid, apid, 0, regionBytes, xpmem.PermRead|xpmem.PermWrite)
+		va, err := consumer.AttachWith(a, segid, apid, xpmem.AttachOpts{
+			Bytes: regionBytes, Perm: xpmem.PermRead | xpmem.PermWrite,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

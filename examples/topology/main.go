@@ -53,10 +53,10 @@ func main() {
 			segid = s
 			return true
 		})
-		apid, err := consumerSess.Get(a, segid, xpmem.PermRead)
+		apid, err := consumerSess.GetWith(a, segid, xpmem.GetOpts{Perm: xpmem.PermRead})
 		check(err)
 		start := a.Now()
-		va, err := consumerSess.Attach(a, segid, apid, 0, 256<<10, xpmem.PermRead)
+		va, err := consumerSess.AttachWith(a, segid, apid, xpmem.AttachOpts{Bytes: 256 << 10, Perm: xpmem.PermRead})
 		check(err)
 		buf := make([]byte, 30)
 		_, err = consumerProc.AS.Read(va, buf)

@@ -52,8 +52,10 @@ var fixtureTests = []struct {
 			{"internal/app/app.go", 9, "paircheck", "Get result discarded"},
 			{"internal/app/app.go", 14, "paircheck", "Attach handle bound to _"},
 			{"internal/app/app.go", 20, "paircheck", `Get handle "apid" is never used again`},
-			// LeakExcused is suppressed; Paired/Transfers/TransfersVar
-			// release or transfer ownership and must stay silent.
+			{"internal/app/app.go", 57, "paircheck", `GetWith handle "apid" is never used again`},
+			{"internal/app/app.go", 62, "paircheck", "AttachWith result discarded"},
+			// LeakExcused is suppressed; Paired/Transfers/TransfersVar/
+			// PairedOpts release or transfer ownership and must stay silent.
 		},
 	},
 	{

@@ -40,6 +40,9 @@ var chargeSinks = map[string]bool{
 	"Advance": true, "AdvanceN": true, "AdvanceTo": true, "Sleep": true,
 	"Acquire": true, "AcquireOp": true, "TryAcquire": true, "Exec": true,
 	"CopyTime": true,
+	// The fault-era timeout primitive: interval and deadline both become
+	// virtual-time advances on the polling actor.
+	"PollDeadline": true,
 }
 
 // clockPath are the sim functions allowed to write Actor.now directly:

@@ -39,6 +39,16 @@ var pairs = []pairSpec{
 		recv:    map[string]bool{"Session": true, "Module": true},
 		acquire: "Attach", release: "Detach", noun: "attachment address",
 	},
+	// The option-struct forms acquire the same handles as their
+	// positional counterparts and retire through the same calls.
+	{
+		recv:    map[string]bool{"Session": true, "Module": true},
+		acquire: "GetWith", release: "Release", noun: "access permit (apid)",
+	},
+	{
+		recv:    map[string]bool{"Session": true, "Module": true},
+		acquire: "AttachWith", release: "Detach", noun: "attachment address",
+	},
 }
 
 func newPaircheck() *Analyzer {

@@ -51,3 +51,29 @@ func TransfersVar(s *xpmem.Session, out *struct{ Apid int }) error {
 	out.Apid = apid
 	return err
 }
+
+// LeakOptsUnused never mentions the option-form permit again.
+func LeakOptsUnused(s *xpmem.Session) {
+	apid, _ := s.GetWith(7)
+}
+
+// LeakOptsDiscarded drops the option-form attachment outright.
+func LeakOptsDiscarded(s *xpmem.Session) {
+	s.AttachWith(7)
+}
+
+// PairedOpts releases and detaches the option-form handles — the same
+// retire calls as the positional forms, so the analyzer must stay
+// silent.
+func PairedOpts(s *xpmem.Session) error {
+	apid, err := s.GetWith(7)
+	if err != nil {
+		return err
+	}
+	defer s.Release(apid)
+	va, err := s.AttachWith(apid)
+	if err != nil {
+		return err
+	}
+	return s.Detach(va)
+}

@@ -16,3 +16,9 @@ func (s *Session) Attach(apid int) (uintptr, error) { return uintptr(apid), nil 
 
 // Detach unmaps an attachment.
 func (s *Session) Detach(va uintptr) error { return nil }
+
+// GetWith is the option-struct form of Get.
+func (s *Session) GetWith(segid int) (int, error) { return segid + 1, nil }
+
+// AttachWith is the option-struct form of Attach.
+func (s *Session) AttachWith(apid int) (uintptr, error) { return uintptr(apid), nil }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
 	"xemem/internal/extent"
 	"xemem/internal/pagetable"
@@ -18,26 +17,6 @@ const pageSize = extent.PageSize
 // segment's full size.
 const AttachAll = ^uint64(0)
 
-// Errors returned by the XPMEM-compatible operations.
-var (
-	ErrNotFound = errors.New("xemem: segment not found")
-	ErrDenied   = errors.New("xemem: permission denied")
-	ErrRemote   = errors.New("xemem: remote operation failed")
-)
-
-func statusErr(st xproto.Status) error {
-	switch st {
-	case xproto.StatusOK:
-		return nil
-	case xproto.StatusNotFound:
-		return ErrNotFound
-	case xproto.StatusDenied:
-		return ErrDenied
-	default:
-		return ErrRemote
-	}
-}
-
 // resolveDst rewrites a name-server-addressed segment command to its
 // owning enclave when this module hosts the name server itself — there is
 // no "toward the NS" link to defer the resolution to.
@@ -47,29 +26,107 @@ func (m *Module) resolveDst(a *sim.Actor, msg *xproto.Message) error {
 	}
 	switch msg.Type {
 	case xproto.MsgGetReq, xproto.MsgAttachReq, xproto.MsgReleaseNotify, xproto.MsgDetachNotify:
+		if err := m.nsWait(a); err != nil {
+			return err
+		}
 		a.Charge("ns-op", m.c.NSOp)
 		owner, ok := m.NS.Owner(msg.Segid)
 		if !ok {
-			return ErrNotFound
+			return ErrNoSuchSegid
+		}
+		if m.NS.EnclaveDown(owner) {
+			return ErrEnclaveDown
 		}
 		msg.Dst = owner
 	}
 	return nil
 }
 
-// rpc issues a request from a process actor and blocks until the kernel
-// actor completes it with the routed response.
-func (m *Module) rpc(a *sim.Actor, msg *xproto.Message) (*xproto.Message, error) {
-	msg.ReqID = m.newReqID()
+// nsWait gates a locally served name-server operation on injected
+// outage windows: while the name server is down, the caller backs off
+// exponentially (bounded), returning ErrTimeout if the outage outlasts
+// the budget. A nil injector — the zero-fault world — costs one branch.
+func (m *Module) nsWait(a *sim.Actor) error {
+	inj := m.w.Injector()
+	if inj == nil || !inj.ServiceDown("nameserver", a.Now()) {
+		return nil
+	}
+	wait := nsOutageBaseWait
+	for i := 0; i < nsOutageRetries; i++ {
+		a.Charge("ns-outage-wait", wait)
+		m.Stats.NSRetries++
+		if !inj.ServiceDown("nameserver", a.Now()) {
+			return nil
+		}
+		wait *= 2
+	}
+	m.Stats.Timeouts++
+	return ErrTimeout
+}
+
+// Name-server outage backoff: 20 µs doubling 10 times rides out ~20 ms
+// of unavailability — matching the default RPC retry budget — before the
+// caller gives up with ErrTimeout.
+const (
+	nsOutageBaseWait = 20 * sim.Microsecond
+	nsOutageRetries  = 10
+)
+
+// rpc issues a request from a process actor and waits for the routed
+// response. In the zero-fault world (no injector installed) it blocks
+// until the response arrives — bit-identical to the pre-fault engine. With
+// an injector, each attempt arms a virtual-time timeout and lost
+// responses are retried with exponential backoff per pol.
+func (m *Module) rpc(a *sim.Actor, msg *xproto.Message, pol RetryPolicy) (*xproto.Message, error) {
 	msg.Src = m.R.Self()
+	origDst := msg.Dst
 	if err := m.resolveDst(a, msg); err != nil {
-		return nil, err
+		return nil, opErr(msg.Type.String(), err, msg.Segid, msg.Apid)
 	}
 	l, err := m.route(msg.Dst)
 	if err != nil {
 		return nil, err
 	}
-	p := &pendingReq{waiter: a}
+	if m.w.Injector() == nil {
+		return m.rpcBlocking(a, msg, l)
+	}
+	pol = pol.withDefaults()
+	timeout := pol.Timeout
+	for attempt := 0; ; attempt++ {
+		resp, err := m.rpcOnce(a, msg, l, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		if !errors.Is(err, ErrTimeout) || attempt >= pol.Retries {
+			return nil, err
+		}
+		m.Stats.Retries++
+		timeout = sim.Time(float64(timeout) * pol.Backoff)
+		// Re-resolve destination and route before retrying: the timeout may
+		// mean the target died mid-protocol. A name-server-hosting module
+		// then learns the owner is down right here (ErrEnclaveDown); others
+		// fall back to the name-server route, where the same verdict comes
+		// back on the wire.
+		if m.NS != nil && origDst == xproto.NoEnclave {
+			msg.Dst = xproto.NoEnclave
+			if err := m.resolveDst(a, msg); err != nil {
+				return nil, opErr(msg.Type.String(), err, msg.Segid, msg.Apid)
+			}
+		}
+		if l2, err := m.route(msg.Dst); err == nil {
+			l = l2
+		} else {
+			return nil, err
+		}
+	}
+}
+
+// rpcBlocking is the original wait-forever request path, kept verbatim so
+// runs without fault injection charge exactly the same virtual time they
+// always did.
+func (m *Module) rpcBlocking(a *sim.Actor, msg *xproto.Message, l xproto.Link) (*xproto.Message, error) {
+	msg.ReqID = m.newReqID()
+	p := &pendingReq{waiter: a, dst: msg.Dst}
 	m.pending[msg.ReqID] = p
 	m.sendOn(a, l, msg)
 	for p.resp == nil {
@@ -77,7 +134,29 @@ func (m *Module) rpc(a *sim.Actor, msg *xproto.Message) (*xproto.Message, error)
 	}
 	delete(m.pending, msg.ReqID)
 	if err := statusErr(p.resp.Status); err != nil {
-		return nil, fmt.Errorf("%w (%s)", err, msg.Type)
+		return nil, opErr(msg.Type.String(), err, msg.Segid, msg.Apid)
+	}
+	return p.resp, nil
+}
+
+// rpcOnce sends one attempt with a fresh ReqID and polls for its response
+// until timeout. A late response to an abandoned attempt finds no pending
+// entry and is counted as dropped — the retry carries a new ReqID, so
+// stale responses can never complete the wrong attempt.
+func (m *Module) rpcOnce(a *sim.Actor, msg *xproto.Message, l xproto.Link, timeout sim.Time) (*xproto.Message, error) {
+	msg.ReqID = m.newReqID()
+	p := &pendingReq{waiter: a, dst: msg.Dst}
+	m.pending[msg.ReqID] = p
+	m.sendOn(a, l, msg)
+	deadline := a.Now() + timeout
+	if !a.PollDeadline(rpcPollInterval, deadline, func() bool { return p.resp != nil }) {
+		delete(m.pending, msg.ReqID)
+		m.Stats.Timeouts++
+		return nil, opErr(msg.Type.String(), ErrTimeout, msg.Segid, msg.Apid)
+	}
+	delete(m.pending, msg.ReqID)
+	if err := statusErr(p.resp.Status); err != nil {
+		return nil, opErr(msg.Type.String(), err, msg.Segid, msg.Apid)
 	}
 	return p.resp, nil
 }
@@ -102,6 +181,16 @@ func (m *Module) allocApid() xproto.Apid {
 	return m.nextApid
 }
 
+// checkUp returns ErrEnclaveDown once this module's enclave has crashed;
+// every XPMEM entry point calls it so operations against a dead enclave
+// fail cleanly instead of hanging on a kernel that will never answer.
+func (m *Module) checkUp(op string) error {
+	if m.crashed {
+		return &OpError{Op: op, Err: ErrEnclaveDown}
+	}
+	return nil
+}
+
 // Make exports [va, va+bytes) of process p's address space as a shared
 // segment (xpmem_make). The range must be page-aligned and lie within one
 // region. perm is the maximum permission the owner offers. If name is
@@ -109,17 +198,23 @@ func (m *Module) allocApid() xproto.Apid {
 // discovery. It returns the globally unique segid.
 func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint64, perm xproto.Perm, name string) (xproto.Segid, error) {
 	m.WaitReady(a)
+	if err := m.checkUp("make"); err != nil {
+		return xproto.NoSegid, err
+	}
 	a.Charge("syscall", m.c.Syscall)
 	if bytes == 0 || bytes%pageSize != 0 || va.Offset() != 0 {
-		return xproto.NoSegid, fmt.Errorf("xemem: make of unaligned range [%#x,+%d)", uint64(va), bytes)
+		return xproto.NoSegid, vaErr("make", ErrBadRange, va)
 	}
 	r := p.AS.FindRegion(va)
 	if r == nil || va+pagetable.VA(bytes) > r.End() {
-		return xproto.NoSegid, fmt.Errorf("xemem: make range [%#x,+%d) not within one region", uint64(va), bytes)
+		return xproto.NoSegid, vaErr("make", ErrBadRange, va)
 	}
 
 	var segid xproto.Segid
 	if m.NS != nil {
+		if err := m.nsWait(a); err != nil {
+			return xproto.NoSegid, opErr("make", err, xproto.NoSegid, xproto.NoApid)
+		}
 		a.Charge("ns-op", m.c.NSOp)
 		var err error
 		segid, err = m.NS.AllocSegid(m.R.Self())
@@ -127,7 +222,7 @@ func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint
 			return xproto.NoSegid, err
 		}
 	} else {
-		resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgSegidAllocReq, Dst: xproto.NoEnclave})
+		resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgSegidAllocReq, Dst: xproto.NoEnclave}, RetryPolicy{})
 		if err != nil {
 			return xproto.NoSegid, err
 		}
@@ -157,10 +252,13 @@ func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint
 
 func (m *Module) publish(a *sim.Actor, segid xproto.Segid, name string) error {
 	if m.NS != nil {
+		if err := m.nsWait(a); err != nil {
+			return &OpError{Op: "publish", Segid: segid, Name: name, Err: err}
+		}
 		a.Charge("ns-op", m.c.NSOp)
 		return m.NS.Publish(name, segid, m.R.Self())
 	}
-	_, err := m.rpc(a, &xproto.Message{Type: xproto.MsgNamePublish, Dst: xproto.NoEnclave, Segid: segid, Name: name})
+	_, err := m.rpc(a, &xproto.Message{Type: xproto.MsgNamePublish, Dst: xproto.NoEnclave, Segid: segid, Name: name}, RetryPolicy{})
 	return err
 }
 
@@ -168,15 +266,21 @@ func (m *Module) publish(a *sim.Actor, segid xproto.Segid, name string) error {
 // (discoverability, §3.1).
 func (m *Module) Lookup(a *sim.Actor, name string) (xproto.Segid, error) {
 	m.WaitReady(a)
+	if err := m.checkUp("lookup"); err != nil {
+		return xproto.NoSegid, err
+	}
 	a.Charge("syscall", m.c.Syscall)
 	if m.NS != nil {
+		if err := m.nsWait(a); err != nil {
+			return xproto.NoSegid, &OpError{Op: "lookup", Name: name, Err: err}
+		}
 		a.Charge("ns-op", m.c.NSOp)
 		if segid, ok := m.NS.Lookup(name); ok {
 			return segid, nil
 		}
-		return xproto.NoSegid, ErrNotFound
+		return xproto.NoSegid, &OpError{Op: "lookup", Name: name, Err: ErrNoSuchSegid}
 	}
-	resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgNameLookupReq, Dst: xproto.NoEnclave, Name: name})
+	resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgNameLookupReq, Dst: xproto.NoEnclave, Name: name}, RetryPolicy{})
 	if err != nil {
 		return xproto.NoSegid, err
 	}
@@ -188,17 +292,23 @@ func (m *Module) Lookup(a *sim.Actor, name string) (xproto.Segid, error) {
 // pinned until detach); new gets and attaches fail.
 func (m *Module) Remove(a *sim.Actor, p *proc.Process, segid xproto.Segid) error {
 	m.WaitReady(a)
+	if err := m.checkUp("remove"); err != nil {
+		return err
+	}
 	a.Charge("syscall", m.c.Syscall)
 	seg, ok := m.segs[segid]
 	if !ok || seg.Removed {
-		return ErrNotFound
+		return opErr("remove", ErrNoSuchSegid, segid, xproto.NoApid)
 	}
 	if seg.Owner != p {
-		return ErrDenied
+		return opErr("remove", ErrPermission, segid, xproto.NoApid)
 	}
 	seg.Removed = true
 	m.invalidateFrameCache(segid)
 	if m.NS != nil {
+		if err := m.nsWait(a); err != nil {
+			return opErr("remove", err, segid, xproto.NoApid)
+		}
 		a.Charge("ns-op", m.c.NSOp)
 		return m.NS.RemoveSegid(segid, m.R.Self())
 	}
@@ -207,58 +317,105 @@ func (m *Module) Remove(a *sim.Actor, p *proc.Process, segid xproto.Segid) error
 }
 
 // Get requests access to a segment (xpmem_get) and returns the permission
-// grant (apid). For locally owned segments the grant is immediate; for
-// remote segments the request routes to the owner via the name server.
+// grant (apid) — the positional form of GetWith with default options.
 func (m *Module) Get(a *sim.Actor, p *proc.Process, segid xproto.Segid, perm xproto.Perm) (xproto.Apid, error) {
+	return m.GetWith(a, p, segid, GetOpts{Perm: perm})
+}
+
+// GetWith requests access to a segment (xpmem_get) with explicit options
+// and returns the permission grant. For locally owned segments the grant
+// is immediate; for remote segments the request routes to the owner via
+// the name server, bounded by the options' retry policy when fault
+// injection is active.
+func (m *Module) GetWith(a *sim.Actor, p *proc.Process, segid xproto.Segid, opts GetOpts) (xproto.Apid, error) {
 	m.WaitReady(a)
+	if err := m.checkUp("get"); err != nil {
+		return xproto.NoApid, err
+	}
+	perm := permOrRead(opts.Perm)
 	a.Charge("syscall", m.c.Syscall)
 	if seg, ok := m.segs[segid]; ok {
 		if seg.Removed {
-			return xproto.NoApid, ErrNotFound
+			return xproto.NoApid, opErr("get", ErrNoSuchSegid, segid, xproto.NoApid)
 		}
 		if perm&^seg.Perm != 0 {
-			return xproto.NoApid, ErrDenied
+			return xproto.NoApid, opErr("get", ErrPermission, segid, xproto.NoApid)
 		}
 		apid := m.allocApid()
 		seg.permits[apid] = &Permit{Apid: apid, Perm: perm, Holder: m.R.Self(), HolderP: p}
 		return apid, nil
 	}
-	resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgGetReq, Dst: xproto.NoEnclave, Segid: segid, Perm: perm})
+	resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgGetReq, Dst: xproto.NoEnclave, Segid: segid, Perm: perm}, opts.policy())
 	if err != nil {
 		return xproto.NoApid, err
 	}
+	m.remoteGrants[grantKey{segid: segid, apid: resp.Apid}] = &remoteGrant{owner: resp.Src, holder: p}
 	return resp.Apid, nil
 }
 
-// Release drops a permission grant (xpmem_release).
+// Release drops a permission grant (xpmem_release). Releasing an apid
+// that was never granted — or granted and already released — returns
+// ErrNoSuchApid; releasing someone else's grant returns ErrPermission.
+// Grants from an enclave that has since crashed release locally without
+// notifying the dead owner.
 func (m *Module) Release(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid xproto.Apid) error {
 	m.WaitReady(a)
+	if err := m.checkUp("release"); err != nil {
+		return err
+	}
 	a.Charge("syscall", m.c.Syscall)
 	if seg, ok := m.segs[segid]; ok {
 		permit, ok := seg.permits[apid]
-		if !ok || permit.HolderP != p {
-			return ErrDenied
+		if !ok {
+			return opErr("release", ErrNoSuchApid, segid, apid)
+		}
+		if permit.HolderP != p {
+			return opErr("release", ErrPermission, segid, apid)
 		}
 		delete(seg.permits, apid)
 		return nil
+	}
+	g, ok := m.remoteGrants[grantKey{segid: segid, apid: apid}]
+	if !ok {
+		return opErr("release", ErrNoSuchApid, segid, apid)
+	}
+	if g.holder != p {
+		return opErr("release", ErrPermission, segid, apid)
+	}
+	delete(m.remoteGrants, grantKey{segid: segid, apid: apid})
+	if m.dead[g.owner] {
+		return nil // the owner crashed; there is no one left to notify
 	}
 	m.notify(a, &xproto.Message{Type: xproto.MsgReleaseNotify, Dst: xproto.NoEnclave, Segid: segid, Apid: apid})
 	return nil
 }
 
 // Attach maps bytes of the segment starting at the given byte offset into
-// process p (xpmem_attach) and returns the new virtual address. Local
-// segments use the kernel's local sharing facility; remote segments run
-// the Fig. 3 protocol: the request routes through the name server to the
+// process p (xpmem_attach) and returns the new virtual address — the
+// positional form of AttachWith with default options. bytes == AttachAll
+// (or 0) maps the whole segment from offset onward, matching
+// xpmem_attach's "size of segment" convention.
+func (m *Module) Attach(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid xproto.Apid, offset, bytes uint64, perm xproto.Perm) (pagetable.VA, error) {
+	return m.AttachWith(a, p, segid, apid, AttachOpts{Offset: offset, Bytes: bytes, Perm: perm})
+}
+
+// AttachWith maps part of a segment into process p (xpmem_attach) with
+// explicit options and returns the new virtual address. Local segments
+// use the kernel's local sharing facility; remote segments run the
+// Fig. 3 protocol: the request routes through the name server to the
 // owner, the owner's frame list routes back (translated across VM
 // boundaries by the channels it crosses), and the local kernel maps it.
-// bytes == AttachAll (or 0) maps the whole segment from offset onward,
-// matching xpmem_attach's "size of segment" convention.
-func (m *Module) Attach(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid xproto.Apid, offset, bytes uint64, perm xproto.Perm) (pagetable.VA, error) {
+// The request is bounded by the options' retry policy when fault
+// injection is active.
+func (m *Module) AttachWith(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid xproto.Apid, opts AttachOpts) (pagetable.VA, error) {
 	m.WaitReady(a)
+	if err := m.checkUp("attach"); err != nil {
+		return 0, err
+	}
+	offset, bytes, perm := opts.Offset, opts.Bytes, permOrRead(opts.Perm)
 	a.Charge("syscall", m.c.Syscall)
 	if offset%pageSize != 0 {
-		return 0, fmt.Errorf("xemem: attach at unaligned offset %#x", offset)
+		return 0, opErr("attach", ErrBadRange, segid, apid)
 	}
 	if bytes == 0 || bytes == AttachAll {
 		// Whole-segment attach: the owner resolves the true size. For a
@@ -266,7 +423,7 @@ func (m *Module) Attach(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid 
 		// Pages == 0 and the owner serves the remainder.
 		if seg, ok := m.segs[segid]; ok {
 			if offset >= seg.Bytes() {
-				return 0, fmt.Errorf("xemem: attach offset beyond segment")
+				return 0, opErr("attach", ErrBadRange, segid, apid)
 			}
 			bytes = seg.Bytes() - offset
 		} else {
@@ -277,15 +434,18 @@ func (m *Module) Attach(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid 
 
 	if seg, ok := m.segs[segid]; ok {
 		if seg.Removed {
-			return 0, ErrNotFound
+			return 0, opErr("attach", ErrNoSuchSegid, segid, apid)
 		}
 		permit := seg.permits[apid]
-		if permit == nil || permit.HolderP != p || perm&^permit.Perm != 0 {
-			return 0, ErrDenied
+		if permit == nil {
+			return 0, opErr("attach", ErrNoSuchApid, segid, apid)
+		}
+		if permit.HolderP != p || perm&^permit.Perm != 0 {
+			return 0, opErr("attach", ErrPermission, segid, apid)
 		}
 		offPages := offset / pageSize
 		if offPages+pages > seg.PagesN {
-			return 0, fmt.Errorf("xemem: attach range exceeds segment")
+			return 0, opErr("attach", ErrBadRange, segid, apid)
 		}
 		region, err := m.os.AttachLocal(a, seg, p, offPages, pages, perm)
 		if err != nil {
@@ -300,7 +460,7 @@ func (m *Module) Attach(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid 
 	resp, err := m.rpc(a, &xproto.Message{
 		Type: xproto.MsgAttachReq, Dst: xproto.NoEnclave,
 		Segid: segid, Apid: apid, Offset: offset, Pages: pages, Perm: perm,
-	})
+	}, opts.policy())
 	if err != nil {
 		return 0, err
 	}
@@ -308,22 +468,29 @@ func (m *Module) Attach(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid 
 	if err != nil {
 		return 0, err
 	}
-	m.attachments[region] = &Attachment{Region: region, Segid: segid, Apid: apid, Local: false, offset: offset}
+	m.attachments[region] = &Attachment{Region: region, Segid: segid, Apid: apid, Local: false, Owner: resp.Src, offset: offset}
 	m.Stats.AttachesMade++
 	return region.Base, nil
 }
 
 // Detach unmaps an attachment by any address inside it (xpmem_detach).
+// Detaching an address that is not inside an XEMEM attachment — including
+// a second detach of the same address — returns ErrNotAttached. An
+// attachment poisoned by its owner enclave's crash unmaps locally without
+// notifying the dead owner.
 func (m *Module) Detach(a *sim.Actor, p *proc.Process, va pagetable.VA) error {
 	m.WaitReady(a)
+	if err := m.checkUp("detach"); err != nil {
+		return err
+	}
 	a.Charge("syscall", m.c.Syscall)
 	region := p.AS.FindRegion(va)
 	if region == nil {
-		return fmt.Errorf("xemem: detach of unmapped address %#x", uint64(va))
+		return vaErr("detach", ErrNotAttached, va)
 	}
 	att, ok := m.attachments[region]
 	if !ok {
-		return fmt.Errorf("xemem: %#x is not an XEMEM attachment", uint64(va))
+		return vaErr("detach", ErrNotAttached, va)
 	}
 	if att.Local {
 		if err := m.os.DetachLocal(a, p, region); err != nil {
@@ -337,12 +504,33 @@ func (m *Module) Detach(a *sim.Actor, p *proc.Process, va pagetable.VA) error {
 		if err := m.os.UnmapRemote(a, p, region); err != nil {
 			return err
 		}
-		m.notify(a, &xproto.Message{
-			Type: xproto.MsgDetachNotify, Dst: xproto.NoEnclave,
-			Segid: att.Segid, Apid: att.Apid, Offset: att.offset, Pages: pages,
-		})
+		if att.Poisoned {
+			m.poisoned--
+		} else {
+			m.notify(a, &xproto.Message{
+				Type: xproto.MsgDetachNotify, Dst: xproto.NoEnclave,
+				Segid: att.Segid, Apid: att.Apid, Offset: att.offset, Pages: pages,
+			})
+		}
 	}
 	delete(m.attachments, region)
+	return nil
+}
+
+// CheckAccess reports whether va may be read or written through p, i.e.
+// that it is not inside an attachment poisoned by its owner enclave's
+// crash. The zero-fault fast path is a single counter test.
+func (m *Module) CheckAccess(p *proc.Process, va pagetable.VA) error {
+	if m.poisoned == 0 {
+		return nil
+	}
+	region := p.AS.FindRegion(va)
+	if region == nil {
+		return nil // not mapped at all; the address-space access will say so
+	}
+	if att, ok := m.attachments[region]; ok && att.Poisoned {
+		return &OpError{Op: "access", Segid: att.Segid, Apid: att.Apid, VA: va, Err: ErrEnclaveDown}
+	}
 	return nil
 }
 

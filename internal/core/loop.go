@@ -98,7 +98,19 @@ func (m *Module) reply(a *sim.Actor, resp *xproto.Message) {
 // handleNS processes commands addressed to the name server. Segment
 // commands (get/attach/release/detach) are resolved through the
 // segid→enclave map and forwarded to the owner, per Fig. 3.
+//
+// During an injected name-server outage window every request is dropped
+// on the floor — the service is down, there is no one to even say so —
+// and requesters recover via their timeout/retry policies once the
+// window passes.
 func (m *Module) handleNS(a *sim.Actor, msg *xproto.Message) {
+	if inj := m.w.Injector(); inj != nil && inj.ServiceDown("nameserver", a.Now()) {
+		m.Stats.NSOutageDrops++
+		if obs := m.w.Observer(); obs != nil {
+			obs.Count("fault-ns-drop", a, 0)
+		}
+		return
+	}
 	a.Charge("ns-op", m.c.NSOp)
 	switch msg.Type {
 	case xproto.MsgSegidAllocReq:
@@ -140,6 +152,21 @@ func (m *Module) handleNS(a *sim.Actor, msg *xproto.Message) {
 					Type:  respType(msg.Type),
 					ReqID: msg.ReqID, Dst: msg.Src, Src: m.R.Self(),
 					Status: xproto.StatusNotFound,
+				})
+			} else {
+				m.Stats.DroppedMessages++
+			}
+			return
+		}
+		if m.NS.EnclaveDown(owner) {
+			// The segment's owner crashed: its registrations linger so the
+			// failure is attributable, but there is no one to serve the
+			// request. Tell the requester the enclave is gone.
+			if msg.Type == xproto.MsgGetReq || msg.Type == xproto.MsgAttachReq {
+				m.reply(a, &xproto.Message{
+					Type:  respType(msg.Type),
+					ReqID: msg.ReqID, Dst: msg.Src, Src: m.R.Self(),
+					Status: xproto.StatusEnclaveDown,
 				})
 			} else {
 				m.Stats.DroppedMessages++

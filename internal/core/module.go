@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"xemem/internal/extent"
 	"xemem/internal/nameserver"
@@ -103,10 +104,34 @@ type Attachment struct {
 	Segid  xproto.Segid
 	Apid   xproto.Apid
 	Local  bool
+	// Owner is the enclave serving a remote attachment's frames; when it
+	// crashes the attachment is poisoned.
+	Owner xproto.EnclaveID
+	// Poisoned marks a remote attachment whose owner enclave crashed: its
+	// frames may be reused by whoever reclaims the dead partition, so
+	// reads and writes through it fail with ErrEnclaveDown (CheckAccess)
+	// and detach skips the notify there is no one left to receive.
+	Poisoned bool
 	// offset is the byte offset within the segment a remote attachment
 	// covers; the detach notification carries it so the owner can release
 	// the matching pins.
 	offset uint64
+}
+
+// grantKey identifies a grant received from a remote owner. Keyed by the
+// (segid, apid) pair, not the apid alone: apids are only unique per
+// owning enclave.
+type grantKey struct {
+	segid xproto.Segid
+	apid  xproto.Apid
+}
+
+// remoteGrant is the attacher-side record of a permit granted by a
+// remote owner, kept so Release can fail deterministically on stale or
+// foreign apids and skip notifying a crashed owner.
+type remoteGrant struct {
+	owner  xproto.EnclaveID
+	holder *proc.Process
 }
 
 // Stats counts protocol activity for the scalability analysis.
@@ -120,6 +145,15 @@ type Stats struct {
 	AttachesMade    int
 	DecodeErrors    int
 	DroppedMessages int
+	// Timeouts counts request attempts abandoned at their virtual-time
+	// deadline; Retries counts the reissues those timeouts triggered.
+	Timeouts int
+	Retries  int
+	// NSRetries counts backoff waits spent riding out name-server outage
+	// windows; NSOutageDrops counts remote requests the name server
+	// discarded while down.
+	NSRetries     int
+	NSOutageDrops int
 	// FrameCache counts serve-side frame-list cache traffic.
 	FrameCache sim.CacheStats
 }
@@ -141,6 +175,10 @@ type frameEntry struct {
 type pendingReq struct {
 	waiter *sim.Actor
 	resp   *xproto.Message
+	// dst is the enclave the request was addressed to (NoEnclave when it
+	// was deferred to the name server for resolution); crash fanout uses
+	// it to fail requests whose target died.
+	dst xproto.EnclaveID
 }
 
 // Module is one enclave's XEMEM kernel module.
@@ -159,13 +197,25 @@ type Module struct {
 	workers      int
 	ready        bool
 	stopped      bool
+	crashed      bool
 	pendingPings []pendingPing
+	// bootIDReq is the outstanding enclave-ID request during a
+	// fault-injected bootstrap (0 otherwise).
+	bootIDReq uint64
 
-	segs        map[xproto.Segid]*Segment
-	attachments map[*proc.Region]*Attachment
-	pending     map[uint64]*pendingReq
-	nextReq     uint64
-	nextApid    xproto.Apid
+	segs         map[xproto.Segid]*Segment
+	attachments  map[*proc.Region]*Attachment
+	remoteGrants map[grantKey]*remoteGrant
+	pending      map[uint64]*pendingReq
+	nextReq      uint64
+	nextApid     xproto.Apid
+
+	// dead records enclaves this module has been told crashed; operations
+	// toward them short-circuit instead of messaging a corpse.
+	dead map[xproto.EnclaveID]bool
+	// poisoned counts attachments invalidated by owner crashes — the
+	// CheckAccess fast-path guard.
+	poisoned int
 
 	// frameCache memoizes serve-side walks per segment: repeat attaches of
 	// the same window reuse the frame list instead of re-walking the
@@ -191,17 +241,19 @@ type pendingPing struct {
 // hosts the centralized name server (normally the management enclave).
 func New(name string, w *sim.World, costs *sim.Costs, os OS, hostNS bool) *Module {
 	m := &Module{
-		name:        name,
-		w:           w,
-		c:           costs,
-		os:          os,
-		R:           router.New(),
-		In:          xproto.NewInbox(name),
-		segs:        make(map[xproto.Segid]*Segment),
-		attachments: make(map[*proc.Region]*Attachment),
-		pending:     make(map[uint64]*pendingReq),
-		frameCache:  make(map[xproto.Segid]map[frameKey]frameEntry),
-		nextReq:     w.NewRNG().Uint64(), // per-module base avoids cross-enclave ReqID collisions
+		name:         name,
+		w:            w,
+		c:            costs,
+		os:           os,
+		R:            router.New(),
+		In:           xproto.NewInbox(name),
+		segs:         make(map[xproto.Segid]*Segment),
+		attachments:  make(map[*proc.Region]*Attachment),
+		remoteGrants: make(map[grantKey]*remoteGrant),
+		pending:      make(map[uint64]*pendingReq),
+		dead:         make(map[xproto.EnclaveID]bool),
+		frameCache:   make(map[xproto.Segid]map[frameKey]frameEntry),
+		nextReq:      w.NewRNG().Uint64(), // per-module base avoids cross-enclave ReqID collisions
 	}
 	if hostNS {
 		m.NS = nameserver.New()
@@ -249,10 +301,11 @@ func (m *Module) Links() []xproto.Link { return m.links }
 // Ready reports whether the bootstrap has completed.
 func (m *Module) Ready() bool { return m.ready }
 
-// WaitReady polls until the module's kernel finishes bootstrapping. User
-// processes call it before their first XPMEM operation.
+// WaitReady polls until the module's kernel finishes bootstrapping — or
+// until the enclave crashes, so callers do not poll a corpse forever
+// (the subsequent operation then fails with ErrEnclaveDown).
 func (m *Module) WaitReady(a *sim.Actor) {
-	a.Poll(10*sim.Microsecond, func() bool { return m.ready })
+	a.Poll(10*sim.Microsecond, func() bool { return m.ready || m.crashed })
 }
 
 // SetKernelWorkers configures how many kernel actors serve the message
@@ -299,6 +352,9 @@ func (m *Module) Start() {
 		a.SetDaemon()
 		if m.NS == nil {
 			m.bootstrap(a)
+		}
+		if m.crashed {
+			return // bootstrap exhausted its retries or the enclave died booting
 		}
 		m.ready = true
 		m.flushPendingPings(a)
@@ -355,6 +411,76 @@ func (m *Module) Stop(a *sim.Actor) error {
 
 // Stopped reports whether the module has been torn down.
 func (m *Module) Stopped() bool { return m.stopped }
+
+// Crashed reports whether the module's enclave died by fault injection
+// (or a failed bootstrap) rather than an orderly Stop.
+func (m *Module) Crashed() bool { return m.crashed }
+
+// Crash kills the module's enclave mid-protocol — the co-kernel dying
+// under its processes, not an orderly Stop. Unlike Stop it never refuses:
+// live attachments, pinned frames, and in-flight requests are simply
+// abandoned, exactly as a kernel panic would leave them. The kernel
+// workers drain their shutdown poisons and exit; local requesters still
+// waiting on responses are woken with StatusEnclaveDown. a is the actor
+// performing the crash (normally the fault injector's daemon).
+func (m *Module) Crash(a *sim.Actor) {
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	m.crashed = true
+	for i := 0; i < m.workers; i++ {
+		m.In.PutShutdown(a)
+	}
+	m.failPending(a, func(*pendingReq) bool { return true })
+}
+
+// OnEnclaveDown is the crash fanout a surviving module receives when
+// enclave dead crashes: forget routes through it, invalidate its segids
+// at the name server (when this module hosts it), fail pending requests
+// addressed to it, and poison attachments whose frames it was serving.
+func (m *Module) OnEnclaveDown(a *sim.Actor, dead xproto.EnclaveID) {
+	if m.stopped || dead == xproto.NoEnclave {
+		return
+	}
+	m.dead[dead] = true
+	m.R.Forget(dead)
+	if m.NS != nil {
+		m.NS.MarkEnclaveDown(dead)
+	}
+	m.failPending(a, func(p *pendingReq) bool { return p.dst == dead })
+	for _, att := range m.attachments {
+		if !att.Local && att.Owner == dead && !att.Poisoned {
+			att.Poisoned = true
+			m.poisoned++
+		}
+	}
+	for _, seg := range m.segs {
+		for apid, permit := range seg.permits {
+			if permit.Holder == dead {
+				delete(seg.permits, apid)
+			}
+		}
+	}
+}
+
+// failPending completes every pending request matching the predicate
+// with StatusEnclaveDown, in ReqID order so wakeup order is independent
+// of map iteration.
+func (m *Module) failPending(a *sim.Actor, match func(*pendingReq) bool) {
+	var ids []uint64
+	for id, p := range m.pending {
+		if p.resp == nil && match(p) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := m.pending[id]
+		p.resp = &xproto.Message{Status: xproto.StatusEnclaveDown}
+		a.Unblock(p.waiter) // no-op for polling waiters; they see resp next poll
+	}
+}
 
 func (m *Module) newReqID() uint64 {
 	m.nextReq++

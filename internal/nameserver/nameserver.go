@@ -27,12 +27,19 @@ type NS struct {
 	// bindings without scanning the whole registry. A segid can carry
 	// several names (publish is idempotent per name, first-come).
 	nameOf map[xproto.Segid][]string
+	// down records crashed enclaves. Their segid registrations are kept —
+	// a lookup of a dead owner's segment must report "enclave down", not
+	// "no such segment" — but requests toward them are answered with
+	// StatusEnclaveDown instead of being forwarded.
+	down map[xproto.EnclaveID]bool
 
 	// Counters for the scalability analysis.
 	EnclaveAllocs int
 	SegidAllocs   int
 	Lookups       int
 	Forwards      int
+	// EnclavesDowned counts crash notifications processed.
+	EnclavesDowned int
 }
 
 // New returns an empty name server. The hosting enclave holds ID 1; the
@@ -137,3 +144,22 @@ func (ns *NS) Names() []string {
 
 // LiveSegids reports the number of live segment registrations.
 func (ns *NS) LiveSegids() int { return len(ns.owners) }
+
+// MarkEnclaveDown records that enclave e crashed. Its segid
+// registrations are deliberately retained: subsequent gets and attaches
+// of its segments fail with an attributable "enclave down" rather than
+// a confusing "no such segment", and the IDs stay burned (segids are
+// never reused, so a stale apid can never alias a new segment).
+func (ns *NS) MarkEnclaveDown(e xproto.EnclaveID) {
+	if e == xproto.NoEnclave || ns.down[e] {
+		return
+	}
+	if ns.down == nil {
+		ns.down = make(map[xproto.EnclaveID]bool)
+	}
+	ns.down[e] = true
+	ns.EnclavesDowned++
+}
+
+// EnclaveDown reports whether e has been marked crashed.
+func (ns *NS) EnclaveDown(e xproto.EnclaveID) bool { return ns.down[e] }

@@ -77,6 +77,17 @@ func (ck *CoKernel) Destroy(a *sim.Actor) error {
 	return ck.host.Free(extent.FromExtents(ck.Block))
 }
 
+// Crash kills the co-kernel mid-flight — a Pisces partition dying with
+// its kernel, not the orderly Destroy. The enclave's memory block is NOT
+// returned to the host zone: remote attachers may still hold (poisoned)
+// mappings into it, and on real hardware a crashed partition's memory
+// cannot be onlined until an operator reclaims it. The fault subsystem's
+// fanout (Module.OnEnclaveDown on the survivors) propagates the segid
+// and route invalidation.
+func (ck *CoKernel) Crash(a *sim.Actor) {
+	ck.Module.Crash(a)
+}
+
 // CreateCoKernel offlines a contiguous block of memBytes from hostZone,
 // boots a Kitten instance on it, wires an IPI channel to the parent
 // enclave's module, and starts the co-kernel's XEMEM module. The parent

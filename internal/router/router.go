@@ -60,6 +60,13 @@ func (r *Router) Learn(id xproto.EnclaveID, via xproto.Link) {
 	r.routes[id] = via
 }
 
+// Forget drops the learned route for id — crash fanout when the enclave
+// behind it died. Later messages for id fall back to the name-server
+// route, where the name server answers StatusEnclaveDown.
+func (r *Router) Forget(id xproto.EnclaveID) {
+	delete(r.routes, id)
+}
+
 // Route resolves the outgoing link for dst: the learned route if any,
 // otherwise the default route toward the name server. ok is false when
 // neither exists (at the name server for an unknown enclave — an

@@ -19,6 +19,7 @@ import (
 	"hash"
 	"math/bits"
 	"sort"
+	"strings"
 
 	"xemem/internal/sim"
 )
@@ -336,6 +337,30 @@ func (t *Tracer) Counter(name string) sim.Time {
 		return s.Time
 	}
 	return 0
+}
+
+// FaultStat is one fault-injection counter: a "fault-" prefixed Count
+// label (drops, crashes, name-server outage drops) with its event count
+// and any attributed virtual time.
+type FaultStat struct {
+	Name  string   `json:"name"`
+	Count uint64   `json:"count"`
+	Time  sim.Time `json:"time_ns"`
+}
+
+// Faults reports the fault-injection counters in lexical order (empty in
+// a zero-fault run). Fault events flow through Count, so they are part
+// of the event stream the digest covers: a changed fault schedule
+// changes the digest.
+func (t *Tracer) Faults() []FaultStat {
+	var out []FaultStat
+	for _, k := range sorted(t.counters) {
+		if strings.HasPrefix(k, "fault-") {
+			s := t.counters[k]
+			out = append(out, FaultStat{Name: k, Count: s.Count, Time: s.Time})
+		}
+	}
+	return out
 }
 
 // FinalTime reports the latest virtual timestamp the tracer observed.

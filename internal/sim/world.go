@@ -69,6 +69,12 @@ type World struct {
 	// obs, if non-nil, receives observability events (see Observer). It
 	// never influences scheduling or clocks.
 	obs Observer
+
+	// inj, if non-nil, is the fault injector consulted at delivery and
+	// service boundaries (see Injector). Unlike obs it is allowed — indeed
+	// exists — to perturb timing and drop messages; nil means the
+	// zero-fault world.
+	inj Injector
 }
 
 // NewWorld returns an empty world whose RNG streams derive from seed.

@@ -38,6 +38,41 @@ const (
 // from the given offset (the xpmem_attach whole-segment convention).
 const AttachAll = core.AttachAll
 
+// Typed errors returned by the API, re-exported from the enclave module
+// layer. Match with errors.Is; errors.As with *core.OpError recovers the
+// failing segid/apid/address.
+var (
+	// ErrNoSuchSegid: the segid does not exist or was removed.
+	ErrNoSuchSegid = core.ErrNoSuchSegid
+	// ErrNoSuchApid: the permit was never granted or already released.
+	ErrNoSuchApid = core.ErrNoSuchApid
+	// ErrPermission: the request exceeds the granted/offered permission,
+	// or names a handle the calling process does not hold.
+	ErrPermission = core.ErrPermission
+	// ErrEnclaveDown: the enclave owning the segment (or the caller's
+	// own) has crashed or been torn down.
+	ErrEnclaveDown = core.ErrEnclaveDown
+	// ErrTimeout: a cross-enclave request exhausted its retry budget.
+	ErrTimeout = core.ErrTimeout
+	// ErrNotAttached: Detach of an address not inside an attachment.
+	ErrNotAttached = core.ErrNotAttached
+	// ErrBadRange: unaligned or out-of-bounds address range.
+	ErrBadRange = core.ErrBadRange
+)
+
+// Option structs for the *With operation forms. The zero values request
+// read permission (and, for AttachOpts, the whole segment) under the
+// default timeout/retry policy — which only takes effect when the world
+// has a fault injector; without one, requests block until answered,
+// exactly as the positional forms always have.
+type (
+	// GetOpts parameterizes GetWith: permission plus timeout/retry policy.
+	GetOpts = core.GetOpts
+	// AttachOpts parameterizes AttachWith: offset, length, permission,
+	// plus timeout/retry policy.
+	AttachOpts = core.AttachOpts
+)
+
 // Session is one process's handle onto its enclave's XEMEM service (the
 // analogue of an open /dev/xpmem descriptor).
 type Session struct {
@@ -75,9 +110,16 @@ func (s *Session) Remove(a *sim.Actor, segid Segid) error {
 }
 
 // Get requests access to a segment and returns a permission grant
-// (xpmem_get).
+// (xpmem_get) — the positional form of GetWith.
 func (s *Session) Get(a *sim.Actor, segid Segid, perm Perm) (Apid, error) {
 	return s.mod.Get(a, s.p, segid, perm)
+}
+
+// GetWith is Get with explicit options: permission plus the
+// timeout/retry policy bounding the cross-enclave request when fault
+// injection is active.
+func (s *Session) GetWith(a *sim.Actor, segid Segid, opts GetOpts) (Apid, error) {
+	return s.mod.GetWith(a, s.p, segid, opts)
 }
 
 // Release drops a permission grant (xpmem_release).
@@ -86,9 +128,17 @@ func (s *Session) Release(a *sim.Actor, segid Segid, apid Apid) error {
 }
 
 // Attach maps bytes of the segment at the given byte offset into the
-// process and returns the new virtual address (xpmem_attach).
+// process and returns the new virtual address (xpmem_attach) — the
+// positional form of AttachWith.
 func (s *Session) Attach(a *sim.Actor, segid Segid, apid Apid, offset, bytes uint64, perm Perm) (pagetable.VA, error) {
 	return s.mod.Attach(a, s.p, segid, apid, offset, bytes, perm)
+}
+
+// AttachWith is Attach with explicit options: window and permission plus
+// the timeout/retry policy bounding the cross-enclave request when fault
+// injection is active.
+func (s *Session) AttachWith(a *sim.Actor, segid Segid, apid Apid, opts AttachOpts) (pagetable.VA, error) {
+	return s.mod.AttachWith(a, s.p, segid, apid, opts)
 }
 
 // Detach unmaps an attachment by any address within it (xpmem_detach).
@@ -102,12 +152,21 @@ func (s *Session) Lookup(a *sim.Actor, name string) (Segid, error) {
 }
 
 // Read copies memory out of the process's address space (helper for
-// applications built on the API).
+// applications built on the API). Reading through an attachment whose
+// owner enclave crashed fails with ErrEnclaveDown instead of returning
+// bytes from frames the dead partition no longer guards.
 func (s *Session) Read(va pagetable.VA, buf []byte) (int, error) {
+	if err := s.mod.CheckAccess(s.p, va); err != nil {
+		return 0, err
+	}
 	return s.p.AS.Read(va, buf)
 }
 
-// Write copies memory into the process's address space.
+// Write copies memory into the process's address space, with the same
+// crashed-owner poisoning check as Read.
 func (s *Session) Write(va pagetable.VA, data []byte) (int, error) {
+	if err := s.mod.CheckAccess(s.p, va); err != nil {
+		return 0, err
+	}
 	return s.p.AS.Write(va, data)
 }

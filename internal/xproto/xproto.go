@@ -115,6 +115,9 @@ const (
 	StatusNotFound
 	StatusDenied
 	StatusError
+	// StatusEnclaveDown reports that the segment's owner enclave (or the
+	// enclave the request had to transit) has crashed or been torn down.
+	StatusEnclaveDown
 )
 
 func (s Status) String() string {
@@ -125,6 +128,8 @@ func (s Status) String() string {
 		return "not-found"
 	case StatusDenied:
 		return "denied"
+	case StatusEnclaveDown:
+		return "enclave-down"
 	default:
 		return "error"
 	}
@@ -267,7 +272,29 @@ func NewInbox(name string) *Inbox { return &Inbox{name: name} }
 
 // Put enqueues an encoded message and wakes one waiting kernel actor, if
 // any. The caller is the sending/forwarding actor.
+//
+// When the world has a fault injector, Put is the wire-fault point: the
+// injector may delay the delivery (the sender absorbs the extra wire
+// time, as a stalled IPI would make it) or drop it outright — the buffer
+// is recycled, a fault-drop counter lands in the trace, and the sender
+// learns nothing, exactly like a lost cross-enclave interrupt. Shutdown
+// poisons (nil Buf) are local teardown control flow, never faulted.
 func (in *Inbox) Put(a *sim.Actor, buf []byte, via Link) {
+	if buf != nil {
+		if inj := a.World().Injector(); inj != nil {
+			drop, delay := inj.DeliveryFault(in.name, a, len(buf))
+			if delay > 0 {
+				a.Charge("fault-delay", delay)
+			}
+			if drop {
+				if obs := a.World().Observer(); obs != nil {
+					obs.Count("fault-drop:"+in.name, a, 0)
+				}
+				in.Recycle(buf)
+				return
+			}
+		}
+	}
 	if in.head > 0 && in.head == len(in.q) {
 		in.q = in.q[:0]
 		in.head = 0
