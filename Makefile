@@ -10,7 +10,7 @@ check: vet build race test fuzz cover
 # vet is three gates: formatting, the stock toolchain vet, and
 # xemem-vet — the in-tree analyzer suite (cmd/xemem-vet) that enforces
 # the simulator's determinism, cost-charging, resource-pairing,
-# map-ordering, and hook-state invariants.
+# map-ordering, hook-state, and partition-isolation invariants.
 vet:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -26,9 +26,11 @@ build:
 # and the tracer (invoked from every dispatch) are the
 # concurrency-sensitive parts: run their packages under the race
 # detector explicitly, plus the trace-enabled experiment suites.
-# TestParallelIdentity is the parallel sweep run under -race: every
-# figure at 1, 2, and NumCPU workers with concurrent tracer
-# registration, held byte-identical to the serial runner.
+# The TestParallel* family runs under -race: the sweep runner
+# (TestParallelIdentity), the per-world conservative parallel engine
+# (TestParallelWorldIdentity), and the fault × parallel matrix
+# (TestParallelFaultMatrix), each held byte-identical to its serial
+# reference.
 race:
 	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem ./internal/experiments/sweep ./internal/fault
 	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain|TestParallel|TestFaultSweep'
@@ -55,10 +57,13 @@ cover:
 
 # Engine fast-path benchmark (BENCH_engine.json), sweep benchmark
 # (serial vs parallel wall-clock plus hot-path allocs/op,
-# BENCH_sweep.json), and the fault-injection sweep (protocol degradation
+# BENCH_sweep.json), the fault-injection sweep (protocol degradation
 # under message loss and enclave crashes, BENCH_fault.json — fully
-# deterministic: reruns are byte-identical).
+# deterministic: reruns are byte-identical), and the parallel-engine
+# scaling grid (partition-count × actor-count, serial vs parallel
+# wall-clock with digest identity, BENCH_parallel.json).
 bench:
 	$(GO) run ./cmd/xemem-bench -json
 	$(GO) run ./cmd/xemem-bench -sweep-json
 	$(GO) run ./cmd/xemem-bench -fault-json
+	$(GO) run ./cmd/xemem-bench -parallel-json

@@ -29,7 +29,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "run the engine benchmark and write BENCH_engine.json (host wall-clock of the fast paths vs their reference implementations)")
 	sweepJSON := flag.Bool("sweep-json", false, "run the sweep benchmark and write BENCH_sweep.json (serial vs parallel wall-clock, allocs/op on the hot paths)")
 	faultJSON := flag.Bool("fault-json", false, "run the fault-injection sweep and write BENCH_fault.json (protocol degradation, failure attribution, and per-cell trace digests across drop rates and enclave crashes)")
+	parallelJSON := flag.Bool("parallel-json", false, "run the parallel-engine scaling grid and write BENCH_parallel.json (partition-count × actor-count, serial vs parallel wall-clock, digest identity)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the figure sweeps (1 = serial runner; results are byte-identical at any value)")
+	partitions := flag.Int("partitions", 0, "run every experiment world on the conservative parallel engine with this many workers (0 = serial reference engine; results are byte-identical at any value)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of every simulated world to this file (open in chrome://tracing or Perfetto; combine with -fast)")
 	metricsOut := flag.String("metrics", "", "write per-world contention metrics JSON to this file and print the per-figure breakdown tables")
 	flag.Parse()
@@ -90,6 +92,21 @@ func main() {
 		}
 		fmt.Println(res.String())
 		fmt.Println("wrote BENCH_sweep.json")
+		return
+	}
+
+	// The engine selection applies to every world the experiments below
+	// construct; digests and printed figures do not change with it.
+	experiments.EngineWorkers = *partitions
+
+	if *parallelJSON {
+		res, err := experiments.ParallelBench(*seed, "BENCH_parallel.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parallel bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Println("wrote BENCH_parallel.json")
 		return
 	}
 

@@ -2,8 +2,8 @@
 // stdlib-only (go/parser + go/ast + go/types, no x/tools) driver core
 // plus the domain analyzers that mechanically enforce the simulator's
 // correctness invariants — determinism of virtual time, cost-model
-// charging, resource pairing, exporter map ordering, and hook-variable
-// discipline. The cmd/xemem-vet driver loads the module, type-checks
+// charging, resource pairing, exporter map ordering, hook-variable
+// discipline, and partition isolation under the parallel engine. The cmd/xemem-vet driver loads the module, type-checks
 // every package, runs the analyzers, applies //xemem: suppression
 // directives, and reports what survives.
 //
@@ -74,6 +74,7 @@ func All() []*Analyzer {
 		newPaircheck(),
 		newMaporder(),
 		newHookstate(),
+		newPartition(),
 	}
 }
 

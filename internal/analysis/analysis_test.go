@@ -70,9 +70,23 @@ var fixtureTests = []struct {
 		fixture: "hookstate",
 		wants: []want{
 			{"internal/lib/lib.go", 11, "hookstate", "package-level hook lib.Hook"},
+			{"internal/lib/lib.go", 32, "hookstate", "package-level hook lib.PartHooks"},
+			{"internal/lib/lib.go", 37, "hookstate", "package-level hook lib.HookByPart"},
+			{"internal/lib/lib.go", 43, "hookstate", "package-level hook lib.Chain"},
 			{"internal/other/other.go", 10, "hookstate", "package-level hook lib.Hook"},
 			// InstallExcused is suppressed; cmd/tool is package main;
 			// Counter is not func-typed.
+		},
+	},
+	{
+		fixture: "partition",
+		wants: []want{
+			{"internal/app/app.go", 13, "partition", "Now called on an actor other than the running one"},
+			{"internal/app/app.go", 14, "partition", "Advance called on an actor other than the running one"},
+			{"internal/app/app.go", 15, "partition", "RNG called on an actor other than the running one"},
+			{"internal/app/app.go", 37, "partition", "Now called on an actor other than the running one"},
+			// Identity reads, own-receiver Unblock, the two-actor Helper,
+			// build-time Build, and the suppressed Excused stay silent.
 		},
 	},
 	{
@@ -147,7 +161,7 @@ func TestWallclockSuppressionForms(t *testing.T) {
 // a breaking change this test makes deliberate.
 func TestNames(t *testing.T) {
 	got := strings.Join(analysis.Names(), " ")
-	const only = "determinism chargecheck paircheck maporder hookstate"
+	const only = "determinism chargecheck paircheck maporder hookstate partition"
 	if got != only {
 		t.Fatalf("analyzer suite = %q, want %q", got, only)
 	}

@@ -39,7 +39,7 @@ var chargeSinks = map[string]bool{
 	"Charge": true, "ChargeN": true,
 	"Advance": true, "AdvanceN": true, "AdvanceTo": true, "Sleep": true,
 	"Acquire": true, "AcquireOp": true, "TryAcquire": true, "Exec": true,
-	"CopyTime": true,
+	"CopyTime": true, "advanceSync": true,
 	// The fault-era timeout primitive: interval and deadline both become
 	// virtual-time advances on the polling actor.
 	"PollDeadline": true,
@@ -50,6 +50,10 @@ var chargeSinks = map[string]bool{
 // re-baseline a woken or newborn actor.
 var clockPath = map[string]bool{
 	"Advance": true, "AdvanceN": true, "Unblock": true, "Spawn": true, "SpawnAt": true,
+	// Mailbox delivery is a wake primitive like Unblock: it re-baselines a
+	// blocked receiver's clock to the delivery time. advanceSync is the
+	// non-batched advance primitive used by revisable waits.
+	"deliver": true, "advanceSync": true,
 }
 
 func newChargecheck() *Analyzer {

@@ -16,10 +16,14 @@ import (
 // The rule is mechanical: assignments to package-level variables of
 // function type are allowed only in package main — the driver binaries
 // that own process configuration and install registration closures
-// (trace.Set.Hook/CellHook) at startup. Everywhere else, observers must
-// be threaded explicitly (World.SetObserver, function parameters).
-// Tests are outside xemem-vet's scope and may save/restore hooks
-// freely.
+// (trace.Set.Hook/CellHook/CellPartitionHook) at startup. Everywhere
+// else, observers must be threaded explicitly (World.SetObserver,
+// function parameters). Per-partition hook *tables* — package-level
+// slices, arrays, or maps with function elements, the natural shape for
+// one-observer-per-engine-partition registration — are hooks too:
+// writing an element (or appending) from library code couples worlds
+// exactly the same way, so those writes are flagged as well. Tests are
+// outside xemem-vet's scope and may save/restore hooks freely.
 func newHookstate() *Analyzer {
 	a := &Analyzer{
 		Name: "hookstate",
@@ -50,6 +54,17 @@ func checkHookWrites(pass *Pass, f *ast.File) {
 				id = l
 			case *ast.SelectorExpr:
 				id = l.Sel
+			case *ast.IndexExpr:
+				// Element write into a per-partition hook table:
+				// Hooks[part] = f.
+				switch x := ast.Unparen(l.X).(type) {
+				case *ast.Ident:
+					id = x
+				case *ast.SelectorExpr:
+					id = x.Sel
+				default:
+					continue
+				}
 			default:
 				continue
 			}
@@ -57,7 +72,7 @@ func checkHookWrites(pass *Pass, f *ast.File) {
 			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
 				continue // not a package-level variable
 			}
-			if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+			if !isHookType(v.Type()) {
 				continue
 			}
 			pass.Reportf(l.Pos(),
@@ -66,4 +81,24 @@ func checkHookWrites(pass *Pass, f *ast.File) {
 		}
 		return true
 	})
+}
+
+// isHookType reports whether t is a hook shape: a function, or a
+// per-partition hook table (slice, array, or map with function
+// elements).
+func isHookType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Signature:
+		return true
+	case *types.Slice:
+		_, ok := u.Elem().Underlying().(*types.Signature)
+		return ok
+	case *types.Array:
+		_, ok := u.Elem().Underlying().(*types.Signature)
+		return ok
+	case *types.Map:
+		_, ok := u.Elem().Underlying().(*types.Signature)
+		return ok
+	}
+	return false
 }

@@ -16,6 +16,33 @@ func InstallExcused(f func(int)) {
 	Hook = f //xemem:allow hookstate -- fixture: registration helper invoked only by driver binaries before any world runs
 }
 
+// PartHooks is a per-partition hook table: one observer slot per
+// engine partition. Element writes are hook installs.
+var PartHooks [4]func(int)
+
+// HookByPart is the map-shaped per-partition table.
+var HookByPart = map[int]func(int){}
+
+// Chain is a slice-shaped hook chain.
+var Chain []func(int)
+
+// InstallPart writes one partition's slot from library code: flagged,
+// same bug class as the scalar hook.
+func InstallPart(p int, f func(int)) {
+	PartHooks[p] = f
+}
+
+// InstallByPart writes the map-shaped table: flagged.
+func InstallByPart(p int, f func(int)) {
+	HookByPart[p] = f
+}
+
+// InstallChain appends to the hook chain: flagged (the slice itself is
+// the package-level hook).
+func InstallChain(f func(int)) {
+	Chain = append(Chain, f)
+}
+
 // Counter is a non-func package variable: writes to it are out of
 // scope.
 var Counter int

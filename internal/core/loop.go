@@ -106,7 +106,7 @@ func (m *Module) reply(a *sim.Actor, resp *xproto.Message) {
 func (m *Module) handleNS(a *sim.Actor, msg *xproto.Message) {
 	if inj := m.w.Injector(); inj != nil && inj.ServiceDown("nameserver", a.Now()) {
 		m.Stats.NSOutageDrops++
-		if obs := m.w.Observer(); obs != nil {
+		if obs := a.Observer(); obs != nil {
 			obs.Count("fault-ns-drop", a, 0)
 		}
 		return

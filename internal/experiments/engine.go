@@ -23,6 +23,8 @@ import (
 // end-to-end composite. All numbers are host nanoseconds; simulated
 // results are bit-identical across every variant.
 type EngineBenchResult struct {
+	Host HostInfo `json:"host"`
+
 	SchedulerActors     int     `json:"scheduler_actors"`
 	SchedulerDispatches int     `json:"scheduler_dispatches"`
 	SchedulerHeapNs     float64 `json:"scheduler_heap_ns_per_dispatch"`
@@ -56,6 +58,7 @@ func EngineBench(seed uint64, jsonPath string) (*EngineBenchResult, error) {
 		reps   = 3
 	)
 	res := &EngineBenchResult{
+		Host:                CaptureHost(),
 		SchedulerActors:     actors,
 		SchedulerDispatches: actors * steps,
 		AttachBytes:         1 << 30,

@@ -59,6 +59,7 @@ type FaultCell struct {
 
 // FaultSweepResult is the regenerated fault sweep (BENCH_fault.json).
 type FaultSweepResult struct {
+	Host   HostInfo    `json:"host"`
 	Seed   uint64      `json:"seed"`
 	Rounds int         `json:"rounds"`
 	Cells  []FaultCell `json:"cells"`
@@ -74,7 +75,7 @@ func FaultSweep(seed uint64, rounds, workers int, jsonPath string) (*FaultSweepR
 	if rounds <= 0 {
 		rounds = 40
 	}
-	res := &FaultSweepResult{Seed: seed, Rounds: rounds}
+	res := &FaultSweepResult{Host: CaptureHost(), Seed: seed, Rounds: rounds}
 	var cells []sweep.Cell[FaultCell]
 	for _, crash := range []bool{false, true} {
 		for _, drop := range FaultDropRates {

@@ -1,0 +1,178 @@
+package experiments
+
+// Fault-injection × parallel-engine matrix: a partitioned multi-node
+// world with a scheduled enclave crash AND a name-server outage window
+// must digest identically on the serial reference engine and on the
+// conservative parallel engine at 1, 2, and NumCPU workers, for every
+// partition count. The injector's per-partition RNG streams and the
+// cross-partition crash-notification mailboxes are exactly the
+// machinery under test: a fault draw or a crash fanout that depended on
+// host-thread interleaving would flip the digest.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"xemem"
+	"xemem/internal/core"
+	"xemem/internal/fault"
+	"xemem/internal/sim"
+	"xemem/internal/sim/trace"
+	"xemem/internal/xpmem"
+)
+
+const (
+	pfNodes    = 4
+	pfSegBytes = 16 << 12
+	pfCrashAt  = sim.Millisecond
+	pfRounds   = 8
+)
+
+// pfOutage is the name-server unavailability window: it opens after the
+// per-node export/lookup prologue (tens of microseconds) and closes
+// before the crash, so each run exercises outage-timeouts and
+// crash-poisoning as distinct phases.
+var pfOutage = fault.Window{Start: 300 * sim.Microsecond, End: 600 * sim.Microsecond}
+
+// runParallelFaultCell builds and runs one faulted world: pfNodes XEMEM
+// machines placed whole into partition n % partitions, node 1's
+// co-kernel crashing at pfCrashAt, the name server dark during
+// pfOutage, and a cross-partition token ring coupling the nodes.
+// workers <= 0 selects the serial reference engine. It returns the
+// run's trace digest.
+func runParallelFaultCell(t *testing.T, seed uint64, partitions, workers int) trace.Digest {
+	t.Helper()
+	w := sim.NewWorld(seed)
+	w.SetStableActorRNG(true)
+	tr := trace.NewTracer(fmt.Sprintf("pfault/p=%d", partitions))
+	tr.SetKeepEvents(false)
+	w.SetObserver(tr)
+
+	const ringLat = 10 * sim.Microsecond
+	const ringLaps = 5
+	boxes := make([]*sim.Mailbox, pfNodes)
+	for n := 0; n < pfNodes; n++ {
+		boxes[n] = w.NewMailbox(fmt.Sprintf("pfring%d", n), n%partitions, ringLat)
+	}
+
+	var mods []*core.Module
+	victim := ""
+	for n := 0; n < pfNodes; n++ {
+		n := n
+		w.SetDefaultPartition(n % partitions)
+		node := xemem.NewNodeInWorld(w, sim.DefaultCosts(), xemem.NodeConfig{
+			Name: fmt.Sprintf("pfnode%d", n), Seed: seed, MemBytes: 2 << 30,
+		})
+		ck, err := node.BootCoKernel("kitten", 256<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, node.LinuxModule(), ck.Module)
+		if n == 1 {
+			victim = ck.Module.Name()
+		}
+		exp, heap, err := node.KittenProcess(ck, "exporter", pfSegBytes+1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		att, _ := node.LinuxProcess("attacher", 1)
+		tag := fmt.Sprintf("pf%d", n)
+
+		node.Spawn("producer", func(a *sim.Actor) {
+			if _, err := exp.Make(a, heap.Base, pfSegBytes, xpmem.PermRead, tag); err != nil &&
+				!errors.Is(err, core.ErrTimeout) && !errors.Is(err, core.ErrEnclaveDown) {
+				t.Errorf("node %d Make: %v", n, err)
+			}
+		})
+		node.Spawn("consumer", func(a *sim.Actor) {
+			var segid xpmem.Segid
+			if !a.PollDeadline(10*sim.Microsecond, a.Now()+pfOutage.Start/2, func() bool {
+				s, err := att.Lookup(a, tag)
+				if err != nil {
+					return false
+				}
+				segid = s
+				return true
+			}) {
+				return
+			}
+			// Every failure mode here — outage timeouts, crash poisoning —
+			// is the behaviour under measurement: the digest records it.
+			// Rounds are paced so the sweep spans the outage window and
+			// runs past the crash (the run must outlive pfCrashAt, or the
+			// schedule daemon dies with the world before firing).
+			for i := 0; i < pfRounds; i++ {
+				a.AdvanceTo(sim.Time(i) * 200 * sim.Microsecond)
+				apid, err := att.GetWith(a, segid, xpmem.GetOpts{Perm: xpmem.PermRead, Timeout: 200 * sim.Microsecond})
+				if err != nil {
+					a.Charge("fault-backoff", 50*sim.Microsecond)
+					continue
+				}
+				va, err := att.AttachWith(a, segid, apid, xpmem.AttachOpts{Bytes: pfSegBytes, Perm: xpmem.PermRead, Timeout: 500 * sim.Microsecond})
+				if err == nil {
+					a.Charge("consume", 20*sim.Microsecond)
+					_ = att.Detach(a, va)
+				}
+				_ = att.Release(a, segid, apid)
+			}
+		})
+		node.Spawn("courier", func(a *sim.Actor) {
+			if n == 0 {
+				boxes[1%pfNodes].Send(a, ringLaps*pfNodes, ringLat)
+			}
+			for k := 0; k < ringLaps; k++ {
+				hop := boxes[n].Recv(a).(int)
+				a.Charge("route", 2*sim.Microsecond)
+				if hop > 1 {
+					boxes[(n+1)%pfNodes].Send(a, hop-1, ringLat)
+				}
+			}
+		})
+	}
+	w.SetDefaultPartition(0)
+
+	inj := fault.New(w, fault.Plan{
+		NSOutages: []fault.Window{pfOutage},
+		Crashes:   []fault.Crash{{At: pfCrashAt, Module: victim}},
+	})
+	inj.Register(mods...)
+	inj.Arm() // after every victim module is Started: partitions are known
+
+	if workers > 0 {
+		w.SetParallel(workers)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Stats().Crashes; got != 1 {
+		t.Fatalf("crash schedule fired %d times, want 1", got)
+	}
+	return tr.Digest()
+}
+
+// TestParallelFaultMatrix holds the faulted world digest-identical
+// between the serial engine and the parallel engine at 1, 2, and
+// NumCPU workers, across partition counts. (Digests legitimately differ
+// *between* partition counts — the injector streams and crash mailboxes
+// are per-partition — so each row compares only against its own serial
+// reference.)
+func TestParallelFaultMatrix(t *testing.T) {
+	counts := []int{1, 2, runtime.NumCPU()}
+	for _, parts := range []int{1, 2, pfNodes} {
+		parts := parts
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			want := runParallelFaultCell(t, 77, parts, 0)
+			if want.Dispatches == 0 {
+				t.Fatal("serial reference traced no dispatches")
+			}
+			for _, workers := range counts {
+				if got := runParallelFaultCell(t, 77, parts, workers); got != want {
+					t.Errorf("workers=%d digest diverged from serial\n got  %+v\n want %+v",
+						workers, got, want)
+				}
+			}
+		})
+	}
+}

@@ -18,6 +18,8 @@ import (
 // scheduler, per-page populate loop). All host-side; simulated results
 // are byte-identical across every worker count and both path variants.
 type SweepBenchResult struct {
+	Host HostInfo `json:"host"`
+
 	Workers    int     `json:"workers"`
 	SerialNs   float64 `json:"serial_ns"`
 	ParallelNs float64 `json:"parallel_ns"`
@@ -34,7 +36,7 @@ type SweepBenchResult struct {
 // rates, and — when jsonPath is non-empty — writes the result there as
 // JSON (BENCH_sweep.json).
 func SweepBench(seed uint64, jsonPath string) (*SweepBenchResult, error) {
-	res := &SweepBenchResult{Workers: sweep.Workers(0)}
+	res := &SweepBenchResult{Host: CaptureHost(), Workers: sweep.Workers(0)}
 
 	sweepAll := func(workers int) error {
 		if _, err := Fig5(seed, 50, workers); err != nil {

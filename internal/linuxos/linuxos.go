@@ -190,7 +190,7 @@ func (l *Linux) MapRemote(a *sim.Actor, p *proc.Process, list extent.List, perm 
 	// The coherence and nested-paging components ride inside the single
 	// map charge (splitting the Exec would change the schedule); attribute
 	// them separately so traces can decompose the §5.3 dip exactly.
-	if obs := l.w.Observer(); obs != nil {
+	if obs := a.Observer(); obs != nil {
 		if coherence > 0 {
 			obs.Count("mm-coherence", a, sim.Time(list.Pages())*coherence)
 		}

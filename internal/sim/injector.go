@@ -48,7 +48,11 @@ func (w *World) Injector() Injector { return w.inj }
 // signal by polling shared memory, §6.1); the final step is truncated so
 // the actor lands exactly on deadline rather than overshooting.
 func (a *Actor) PollDeadline(interval, deadline Time, cond func() bool) bool {
-	for !cond() {
+	for {
+		a.Settle() // cond typically reads state other actors write
+		if cond() {
+			return true
+		}
 		if a.now >= deadline {
 			return false
 		}
@@ -58,5 +62,4 @@ func (a *Actor) PollDeadline(interval, deadline Time, cond func() bool) bool {
 		}
 		a.Advance(step)
 	}
-	return true
 }

@@ -1,0 +1,305 @@
+package sim
+
+import "fmt"
+
+// Mailbox is the cross-partition communication primitive of the parallel
+// engine (see parallel.go). A mailbox is owned by one partition: only
+// actors of that partition may receive from it, while any actor may send
+// to it. Every send pays a delivery latency of at least the mailbox's
+// declared minimum — which must be strictly positive, because it is
+// exactly the lookahead the conservative scheduler mines to build its
+// LBTS horizon. Model the minimum on the real topology: a cross-enclave
+// XEMEM hop never costs less than the fixed per-message kernel work plus
+// one core-0 IPI (core.MessageLookahead derives this from sim.Costs).
+//
+// Under the serial engine a mailbox is just a deterministic timed queue;
+// the parallel engine stages cross-partition sends during a window and
+// applies them at the next barrier. Both engines produce identical
+// schedules because a mailbox wakeup is a pure function of the delivered
+// messages' timestamps, not of the order the engine applied them:
+//
+//   - Send by actor s with latency L enqueues the message with delivery
+//     time s.Now()+L.
+//   - A receiver takes the pending message with the smallest (delivery,
+//     sender id, sender seq) key, advancing its clock to the delivery
+//     time if it is still earlier.
+//   - A receiver that finds the queue empty blocks; every delivery
+//     (re-)computes each blocked receiver's wakeup as max(block time,
+//     earliest pending delivery), lowering an already-scheduled wakeup
+//     when a later-applied message has an earlier delivery time. A
+//     waiter therefore always wakes at the same instant the serial
+//     engine would have woken it, no matter how deliveries were batched.
+type Mailbox struct {
+	w      *World
+	name   string
+	owner  int
+	minLat Time
+
+	pending mailHeap
+	waiters []mailWaiter
+
+	// Accumulated statistics (receiver-partition-owned).
+	sent     int
+	received int
+	maxDepth int
+}
+
+// mailMsg is one in-flight message. The (at, from, seq) triple totally
+// orders messages: sender ids are unique and seq increments per sender.
+type mailMsg struct {
+	at   Time // delivery time
+	from int  // sending actor id
+	seq  uint64
+	data any
+}
+
+// mailWaiter records a receiver blocked on an empty mailbox and the
+// clock it blocked at (its wakeup floor).
+type mailWaiter struct {
+	a  *Actor
+	at Time
+}
+
+// stagedSend is a cross-partition Send awaiting the next barrier.
+type stagedSend struct {
+	mb *Mailbox
+	m  mailMsg
+}
+
+// NewMailbox creates a mailbox received from by partition owner, with
+// the given strictly positive minimum delivery latency. Must be called
+// before Run. Creating a mailbox for partition p extends the world's
+// partition count to at least p+1, like SpawnIn.
+func (w *World) NewMailbox(name string, owner int, minLatency Time) *Mailbox {
+	if minLatency <= 0 {
+		panic("sim: mailbox minimum latency must be positive (it is the scheduler's lookahead)")
+	}
+	if owner < 0 {
+		panic("sim: negative mailbox owner partition")
+	}
+	if w.running {
+		panic("sim: NewMailbox while running")
+	}
+	if owner+1 > w.nparts {
+		w.nparts = owner + 1
+	}
+	mb := &Mailbox{w: w, name: name, owner: owner, minLat: minLatency}
+	w.mailboxes = append(w.mailboxes, mb)
+	return mb
+}
+
+// Name reports the mailbox's diagnostic name.
+func (mb *Mailbox) Name() string { return mb.name }
+
+// Owner reports the partition that receives from the mailbox.
+func (mb *Mailbox) Owner() int { return mb.owner }
+
+// MinLatency reports the declared minimum delivery latency — the
+// lookahead this mailbox contributes to the parallel engine.
+func (mb *Mailbox) MinLatency() Time { return mb.minLat }
+
+// Sent reports the number of messages sent to the mailbox so far.
+func (mb *Mailbox) Sent() int { return mb.sent }
+
+// Received reports the number of messages received so far.
+func (mb *Mailbox) Received() int { return mb.received }
+
+// MaxDepth reports the high-water mark of the deliverable backlog as
+// observed by receives: for each received message, that message plus
+// every pending message already past its delivery time at the receive
+// instant. The gauge is a pure function of message timestamps — an
+// enqueue-side gauge would instead depend on how the engine batched
+// deliveries and so differ between serial and parallel runs.
+func (mb *Mailbox) MaxDepth() int { return mb.maxDepth }
+
+// Send delivers data to the mailbox at the sender's current time plus
+// latency, which must be at least the mailbox's declared minimum. Send
+// never blocks and never advances the sender's clock; charge any
+// marshalling cost separately before sending.
+func (mb *Mailbox) Send(a *Actor, data any, latency Time) {
+	a.Settle()
+	if latency < mb.minLat {
+		panic(fmt.Sprintf("sim: mailbox %s: send latency %v below declared minimum %v",
+			mb.name, latency, mb.minLat))
+	}
+	m := mailMsg{at: a.now + latency, from: a.id, seq: a.mseq, data: data}
+	a.mseq++
+	if p := a.part; p != nil && p.id != mb.owner {
+		// Parallel engine, foreign mailbox: stage for the next barrier.
+		// The lookahead bound makes m.at >= the current horizon, so the
+		// owner cannot have run past it.
+		p.staged = append(p.staged, stagedSend{mb: mb, m: m})
+		return
+	}
+	mb.deliver(m)
+}
+
+// deliver lands m in the pending queue and (re-)schedules the wakeup of
+// every blocked receiver at max(its block time, the delivery time),
+// keeping the earliest such wakeup if one is already scheduled. The
+// resulting wakeup instant is independent of delivery order, which is
+// what lets the barrier batch deliveries without perturbing the
+// schedule.
+func (mb *Mailbox) deliver(m mailMsg) {
+	mb.sent++
+	mb.pending.push(m)
+	for _, wt := range mb.waiters {
+		b := wt.a
+		wake := m.at
+		if wake < wt.at {
+			wake = wt.at
+		}
+		switch {
+		case b.state == blocked:
+			b.state = ready
+			b.blockReason = ""
+			if b.now < wake {
+				b.now = wake
+			}
+			b.w.heapPush(b)
+		case b.state == ready && b.heapIdx >= 0 && wake < b.now:
+			// Already woken by an earlier-applied delivery with a later
+			// timestamp: lower the scheduled wakeup. The waiter has not run
+			// since it blocked, so nothing observed the higher time.
+			b.now = wake
+			b.w.heapFix(b)
+		}
+	}
+}
+
+// Recv returns the next message for a, blocking (in virtual time) until
+// one is deliverable. The receiver's clock advances to the message's
+// delivery time. Only actors of the owning partition may receive.
+func (mb *Mailbox) Recv(a *Actor) any {
+	a.Settle()
+	mb.checkOwner(a)
+	for {
+		if len(mb.pending) > 0 {
+			head := mb.pending[0]
+			if head.at <= a.now {
+				mb.pending.pop()
+				mb.received++
+				mb.noteDepth(a.now)
+				return head.data
+			}
+			// Park until the earliest currently-pending delivery — but stay
+			// registered as a waiter, so a message applied later with an
+			// earlier delivery time lowers the wake (deliver). Without the
+			// registration this would silently commit to head, and the
+			// commitment would depend on whether the earlier message was
+			// applied yet — i.e. on barrier batching. The park must really
+			// yield (advanceSync), for the same reason.
+			mb.waiters = append(mb.waiters, mailWaiter{a: a, at: a.now})
+			a.advanceSync(head.at - a.now)
+			mb.unwait(a)
+			continue
+		}
+		mb.waiters = append(mb.waiters, mailWaiter{a: a, at: a.now})
+		a.Block("mailbox " + mb.name)
+		mb.unwait(a)
+	}
+}
+
+// TryRecv returns the next message deliverable at or before a's current
+// time, if any, without blocking or advancing the clock.
+func (mb *Mailbox) TryRecv(a *Actor) (any, bool) {
+	a.Settle()
+	mb.checkOwner(a)
+	if len(mb.pending) > 0 && mb.pending[0].at <= a.now {
+		m := mb.pending.pop()
+		mb.received++
+		mb.noteDepth(a.now)
+		return m.data, true
+	}
+	return nil, false
+}
+
+// noteDepth records the deliverable backlog observed by the receive that
+// just popped a message at virtual time now: the popped message plus
+// every remaining pending message already past its delivery time. Unlike
+// an enqueue-side gauge this is a pure function of message timestamps,
+// so it is identical under serial and barrier-batched execution.
+func (mb *Mailbox) noteDepth(now Time) {
+	d := 1
+	for i := range mb.pending {
+		if mb.pending[i].at <= now {
+			d++
+		}
+	}
+	if d > mb.maxDepth {
+		mb.maxDepth = d
+	}
+}
+
+// Len reports the number of pending (not yet received) messages.
+func (mb *Mailbox) Len() int { return len(mb.pending) }
+
+func (mb *Mailbox) checkOwner(a *Actor) {
+	if a.partID != mb.owner {
+		panic(fmt.Sprintf("sim: actor %s (partition %d) receiving from mailbox %s owned by partition %d",
+			a.name, a.partID, mb.name, mb.owner))
+	}
+}
+
+// unwait removes a from the waiter list after a wakeup.
+func (mb *Mailbox) unwait(a *Actor) {
+	for i := range mb.waiters {
+		if mb.waiters[i].a == a {
+			mb.waiters = append(mb.waiters[:i], mb.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// mailHeap is a min-heap of messages keyed by (at, from, seq).
+type mailHeap []mailMsg
+
+func mailLess(a, b *mailMsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	return a.seq < b.seq
+}
+
+func (h *mailHeap) push(m mailMsg) {
+	s := append(*h, m)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !mailLess(&s[i], &s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *mailHeap) pop() mailMsg {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = mailMsg{}
+	s = s[:last]
+	i := 0
+	for {
+		min := i
+		if l := 2*i + 1; l < len(s) && mailLess(&s[l], &s[min]) {
+			min = l
+		}
+		if r := 2*i + 2; r < len(s) && mailLess(&s[r], &s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
+}

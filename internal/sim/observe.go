@@ -46,16 +46,33 @@ type Observer interface {
 // Installing one mid-run is allowed — events simply begin at that point.
 func (w *World) SetObserver(o Observer) { w.obs = o }
 
-// Observer reports the installed observer, nil when none.
+// Observer reports the installed observer, nil when none. Code that
+// emits events on behalf of a running actor must use Actor.Observer
+// instead, which stays correct under the parallel engine.
 func (w *World) Observer() Observer { return w.obs }
+
+// Observer reports the observer that should receive events attributed to
+// this actor's execution: the world's installed observer or, while the
+// parallel engine is running a multi-partition observed world, the
+// partition-local buffer that replays to the real observer in serial
+// order at the next barrier (see parallel.go). Substrate code emitting
+// events for an actor must route them here rather than through
+// World.Observer so the buffering stays transparent.
+func (a *Actor) Observer() Observer {
+	if p := a.part; p != nil && p.buf != nil {
+		return p.buf
+	}
+	return a.w.obs
+}
 
 // Charge is Advance with an operation label: it charges d of virtual
 // time to the actor exactly as Advance does, additionally reporting the
-// span to the world's observer when one is installed. Substrate code
-// uses it at every cost-charge site so traces can attribute where
-// simulated time goes; with no observer it is Advance.
+// span to the observer when one is installed. Substrate code uses it at
+// every cost-charge site so traces can attribute where simulated time
+// goes; with no observer it is Advance.
 func (a *Actor) Charge(op string, d Time) {
-	if obs := a.w.obs; obs != nil {
+	if obs := a.Observer(); obs != nil {
+		a.Settle() // commit advances elided before a mid-run install
 		obs.Span(a, op, a.now, d)
 	}
 	a.Advance(d)
@@ -65,7 +82,8 @@ func (a *Actor) Charge(op string, d Time) {
 // operation charged as one batched advance, reported as a single span of
 // d*n.
 func (a *Actor) ChargeN(op string, d Time, n uint64) {
-	if obs := a.w.obs; obs != nil {
+	if obs := a.Observer(); obs != nil {
+		a.Settle() // commit advances elided before a mid-run install
 		obs.Span(a, op, a.now, d*Time(n))
 	}
 	a.AdvanceN(d, n)

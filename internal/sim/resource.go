@@ -37,13 +37,16 @@ func (r *Resource) Acquire(a *Actor, d Time) (start Time) {
 // attribute the occupancy (and any queueing delay) to op. The simulated
 // outcome is identical to Acquire.
 func (r *Resource) AcquireOp(a *Actor, d Time, op string) (start Time) {
+	a.Settle()
 	r.acquires++
 	arrival := a.now
 	depth := 0
 	waitedHere := false
 	// Re-check after every advance: while we were queued, a later-queued
 	// actor cannot have overtaken us (the scheduler dispatches in global
-	// time order), but an earlier one may have extended nextFree.
+	// time order), but an earlier one may have extended nextFree. The
+	// advance must really yield (advanceSync): an elided wait would re-read
+	// nextFree before the earlier acquirer had run.
 	for r.nextFree > a.now {
 		if !waitedHere {
 			waitedHere = true
@@ -52,14 +55,14 @@ func (r *Resource) AcquireOp(a *Actor, d Time, op string) (start Time) {
 		}
 		delta := r.nextFree - a.now
 		r.waited += delta
-		a.Advance(delta)
+		a.advanceSync(delta)
 	}
 	if waitedHere {
 		r.queued--
 		r.waits++
 	}
 	start = a.now
-	if obs := a.w.obs; obs != nil {
+	if obs := a.Observer(); obs != nil {
 		obs.AcquireRes(r, a, op, arrival, start, d, depth)
 	}
 	r.nextFree = start + d
@@ -71,11 +74,12 @@ func (r *Resource) AcquireOp(a *Actor, d Time, op string) (start Time) {
 // TryAcquire occupies the resource only if it is idle at a's current time.
 // It reports whether the acquisition happened.
 func (r *Resource) TryAcquire(a *Actor, d Time) bool {
+	a.Settle()
 	if r.nextFree > a.now {
 		return false
 	}
 	r.acquires++
-	if obs := a.w.obs; obs != nil {
+	if obs := a.Observer(); obs != nil {
 		obs.AcquireRes(r, a, "", a.now, a.now, d, 0)
 	}
 	r.nextFree = a.now + d

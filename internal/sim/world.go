@@ -53,14 +53,40 @@ type World struct {
 	stopped bool
 
 	// heap is the ready queue: an indexed min-heap on (time, id). Running,
-	// blocked, and finished actors are not in it. Unused when linearScan.
-	heap []*Actor
+	// blocked, and finished actors are not in it. Unused when linearScan,
+	// and empty while the partitioned parallel engine is active (each
+	// partition then owns its own actorHeap).
+	heap actorHeap
 	// liveNonDaemons counts non-daemon actors that have not finished, so
 	// the run loop's termination check is O(1) instead of a scan.
 	liveNonDaemons int
 	// linearScan selects the pre-heap O(n) scheduler (reference
 	// implementation, see SetLinearScan).
 	linearScan bool
+
+	// Partitioning state for the conservative parallel engine (see
+	// parallel.go). nparts counts the partition labels in use (always
+	// >= 1); parWorkers > 0 selects the windowed engine in Run; parts is
+	// non-nil only while that engine is active; mailboxes records every
+	// Mailbox, whose minimum latencies are the lookahead the engine mines.
+	parWorkers  int
+	defaultPart int
+	nparts      int
+	parts       []*partition
+	mailboxes   []*Mailbox
+	// stableRNG selects actor-id-derived seeding for lazily created actor
+	// RNG streams (see SetStableActorRNG).
+	stableRNG bool
+	// batchAdvances opts the parallel engine into run-to-completion
+	// batching of pure advances (see SetBatchedAdvances).
+	batchAdvances bool
+	// draining flags the parallel run's drain phase, and drainCompleter/
+	// drainStretch identify the final non-daemon completion dispatch —
+	// the one dispatch whose same-timestamp creations the serial engine
+	// never reached (see drainParallel and daemonBlocked).
+	draining       bool
+	drainCompleter *Actor
+	drainStretch   uint64
 
 	// Trace, if non-nil, receives a line per scheduling decision. Used by
 	// tests; nil in normal runs.
@@ -80,8 +106,9 @@ type World struct {
 // NewWorld returns an empty world whose RNG streams derive from seed.
 func NewWorld(seed uint64) *World {
 	return &World{
-		yield: make(chan *Actor),
-		seed:  seed,
+		yield:  make(chan *Actor),
+		seed:   seed,
+		nparts: 1,
 	}
 }
 
@@ -94,6 +121,9 @@ func NewWorld(seed uint64) *World {
 func (w *World) SetLinearScan(on bool) {
 	if w.running {
 		panic("sim: SetLinearScan while running")
+	}
+	if on && w.parWorkers > 0 {
+		panic("sim: SetLinearScan is incompatible with SetParallel")
 	}
 	if on == w.linearScan {
 		return
@@ -111,6 +141,79 @@ func (w *World) SetLinearScan(on bool) {
 	}
 }
 
+// SetParallel selects the conservative windowed parallel engine for Run,
+// with up to workers host goroutines executing partition windows
+// concurrently (see parallel.go for the model). workers <= 0 reverts to
+// the serial reference engine. The parallel engine produces schedules —
+// and therefore trace digests — bit-identical to the serial engine for
+// any worker count; workers only changes host-level concurrency, never
+// simulated outcomes. Must be called before Run.
+func (w *World) SetParallel(workers int) {
+	if w.running {
+		panic("sim: SetParallel while running")
+	}
+	if workers > 0 && w.linearScan {
+		panic("sim: SetParallel is incompatible with SetLinearScan")
+	}
+	if workers < 0 {
+		workers = 0
+	}
+	w.parWorkers = workers
+}
+
+// SetBatchedAdvances opts the parallel engine into run-to-completion
+// batching of pure advances: an Advance/AdvanceN that only moves the
+// actor's own clock skips the scheduler yield, and the actor commits the
+// accumulated virtual time the next time it touches state other actors
+// can see — a resource, a mailbox, Unblock, Spawn, a Poll condition — at
+// which point it yields until every actor below its clock has run,
+// restoring the exact serial interleaving at every coupling point. The
+// simulated outcome (final time, every interaction's timestamps, all
+// statistics) is identical to the unbatched engine; only the host-level
+// goroutine handoffs per pure advance disappear. Daemons never batch, so
+// the end-of-run termination cut-off stays serial-exact, and batching
+// disengages automatically while an Observer or Trace is installed
+// (their dispatch streams must match the serial engine event for event).
+//
+// The contract: actors must confine cross-actor interaction to the
+// engine's primitives. Code that shares raw Go state between actors
+// outside them must call Actor.Settle before touching it, or leave
+// batching off. It has no effect on the serial engine. Must be called
+// before Run.
+func (w *World) SetBatchedAdvances(on bool) {
+	if w.running {
+		panic("sim: SetBatchedAdvances while running")
+	}
+	w.batchAdvances = on
+}
+
+// SetDefaultPartition sets the partition label assigned to subsequently
+// spawned actors (see SpawnIn). World builders bracket each enclave's
+// construction with it so every actor of the enclave — kernels, apps,
+// noise sources — lands in that enclave's partition. The default is
+// partition 0, so worlds that never call it are single-partition and the
+// parallel engine degenerates to one run-to-completion window.
+func (w *World) SetDefaultPartition(p int) {
+	if p < 0 {
+		panic("sim: negative partition")
+	}
+	if w.running {
+		panic("sim: SetDefaultPartition while running")
+	}
+	w.defaultPart = p
+	if p+1 > w.nparts {
+		w.nparts = p + 1
+	}
+}
+
+// DefaultPartition reports the partition label currently assigned to
+// newly spawned actors.
+func (w *World) DefaultPartition() int { return w.defaultPart }
+
+// NumPartitions reports the number of partition labels in use (the
+// highest label ever assigned, plus one). Always at least 1.
+func (w *World) NumPartitions() int { return w.nparts }
+
 // Now reports the current global virtual time: the clock of the most
 // recently dispatched actor.
 func (w *World) Now() Time { return w.now }
@@ -122,21 +225,63 @@ func (w *World) NewRNG() *RNG {
 	return NewRNG(w.seed ^ (w.nextRNG * 0x9e3779b97f4a7c15))
 }
 
+// SetStableActorRNG selects actor-id-derived seeding for lazily created
+// actor RNG streams (Actor.RNG) instead of the legacy creation-order
+// counter. Id-derived streams are insensitive to how actors are grouped
+// into partitions, so a workload produces identical noise whether it is
+// built as one partition or eight — the property the partition-scaling
+// benchmark relies on to compare layouts. Multi-partition worlds always
+// use the stable derivation (the counter would race across windows);
+// this knob merely extends it to the single-partition builds of the same
+// workload. Must be set before the first Actor.RNG call.
+func (w *World) SetStableActorRNG(on bool) { w.stableRNG = on }
+
 // Spawn creates an actor named name running fn. If called from within a
 // running actor, the child starts at the caller's current time; otherwise
 // it starts at time zero. Daemon actors (see Actor.SetDaemon) do not keep
-// the world alive.
+// the world alive. The actor lands in the world's default partition.
 func (w *World) Spawn(name string, fn func(*Actor)) *Actor {
+	return w.SpawnIn(w.defaultPart, name, fn)
+}
+
+// SpawnIn is Spawn with an explicit partition label. Partition labels
+// only matter to the parallel engine (SetParallel): actors in distinct
+// partitions may then execute on distinct host goroutines within a
+// window, so they must interact across partitions only through Mailbox
+// sends — never Unblock or shared mutable state. The serial engine
+// ignores labels entirely.
+//
+// Spawning mid-run is allowed in single-partition worlds (as before) but
+// panics in a multi-partition world running the parallel engine: actor
+// ids are assigned from a global table that windows would race on.
+func (w *World) SpawnIn(part int, name string, fn func(*Actor)) *Actor {
+	if part < 0 {
+		panic("sim: negative partition")
+	}
+	if w.parts != nil && w.nparts > 1 {
+		panic("sim: mid-run Spawn in a multi-partition parallel world")
+	}
+	if part+1 > w.nparts {
+		w.nparts = part + 1
+	}
 	a := &Actor{
 		id:      len(w.actors),
 		name:    name,
 		w:       w,
+		partID:  part,
 		state:   ready,
 		resume:  resumePool.Get().(chan struct{}),
 		heapIdx: -1,
 	}
+	if w.parts != nil {
+		a.part = w.parts[part]
+	}
 	w.actors = append(w.actors, a)
-	w.liveNonDaemons++
+	if a.part != nil {
+		a.part.live++
+	} else {
+		w.liveNonDaemons++
+	}
 	w.heapPush(a)
 	go a.run(fn)
 	return a
@@ -172,6 +317,10 @@ func (w *World) Run() error {
 	}
 	w.running = true
 	defer func() { w.running = false }()
+
+	if w.parWorkers > 0 {
+		return w.runParallel()
+	}
 
 	for {
 		if w.linearScan {
@@ -275,76 +424,149 @@ func actorLess(a, b *Actor) bool {
 	return a.now < b.now || (a.now == b.now && a.id < b.id)
 }
 
-// heapPush enqueues a ready actor. No-op in linear mode, where the scan
-// consults actor state directly.
-func (w *World) heapPush(a *Actor) {
-	if w.linearScan {
-		return
-	}
-	a.heapIdx = len(w.heap)
-	w.heap = append(w.heap, a)
-	w.siftUp(a.heapIdx)
+// heapEntry is one ready actor with its dispatch key copied inline, so
+// sift compares walk contiguous heap memory instead of dereferencing
+// scattered Actor structs (the dominant cache-miss cost of the dispatch
+// hot path). Invariant: key == a.now and id == a.id while enqueued; fix
+// refreshes the key after a wakeup rewrites the clock.
+type heapEntry struct {
+	key Time
+	id  int
+	a   *Actor
 }
 
-// heapPop removes and returns the minimal-(time,id) ready actor, or nil.
-func (w *World) heapPop() *Actor {
-	if len(w.heap) == 0 {
+func entryLess(a, b *heapEntry) bool {
+	return a.key < b.key || (a.key == b.key && a.id < b.id)
+}
+
+// actorHeap is an indexed 4-ary min-heap of ready actors ordered by
+// actorLess. The world's serial scheduler owns one; under the parallel
+// engine each partition owns its own, so the methods live on the slice
+// type rather than on World. Four-way branching halves the tree depth of
+// a binary heap — and with it the compare rounds and heapIdx writes on
+// the dispatch hot path — while heap shape never affects pop order (the
+// (now, id) key is a total order).
+type actorHeap []heapEntry
+
+func (h *actorHeap) push(a *Actor) {
+	i := len(*h)
+	a.heapIdx = i
+	*h = append(*h, heapEntry{key: a.now, id: a.id, a: a})
+	h.siftUp(i)
+}
+
+// pop removes and returns the minimal-(time,id) ready actor, or nil.
+func (h *actorHeap) pop() *Actor {
+	s := *h
+	n := len(s)
+	if n == 0 {
 		return nil
 	}
-	top := w.heap[0]
-	last := len(w.heap) - 1
-	w.heap[0] = w.heap[last]
-	w.heap[0].heapIdx = 0
-	w.heap[last] = nil
-	w.heap = w.heap[:last]
-	if last > 0 {
-		w.siftDown(0)
+	top := s[0].a
+	n--
+	if n > 0 {
+		s[0] = s[n]
+		s[0].a.heapIdx = 0
+	}
+	s[n] = heapEntry{}
+	*h = s[:n]
+	if n > 1 {
+		h.siftDown(0)
 	}
 	top.heapIdx = -1
 	return top
 }
 
-// heapFix restores the heap invariant after a's clock changed while
-// enqueued (SpawnAt and child-spawn set the start time after Spawn).
-func (w *World) heapFix(a *Actor) {
-	if w.linearScan || a.heapIdx < 0 {
-		return
+// peek returns the minimal-(time,id) ready actor without removing it, or
+// nil when the heap is empty.
+func (h actorHeap) peek() *Actor {
+	if len(h) == 0 {
+		return nil
 	}
-	w.siftUp(a.heapIdx)
-	w.siftDown(a.heapIdx)
+	return h[0].a
 }
 
-func (w *World) siftUp(i int) {
+// fix restores the heap invariant after a's clock changed while
+// enqueued, refreshing the inline key.
+func (h actorHeap) fix(a *Actor) {
+	i := a.heapIdx
+	if i < 0 {
+		return
+	}
+	h[i].key = a.now
+	h.siftUp(i)
+	h.siftDown(a.heapIdx)
+}
+
+func (h actorHeap) siftUp(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !actorLess(w.heap[i], w.heap[parent]) {
+		parent := (i - 1) / 4
+		if !entryLess(&h[i], &h[parent]) {
 			break
 		}
-		w.heap[i], w.heap[parent] = w.heap[parent], w.heap[i]
-		w.heap[i].heapIdx = i
-		w.heap[parent].heapIdx = parent
+		h[i], h[parent] = h[parent], h[i]
+		h[i].a.heapIdx = i
+		h[parent].a.heapIdx = parent
 		i = parent
 	}
 }
 
-func (w *World) siftDown(i int) {
-	n := len(w.heap)
+func (h actorHeap) siftDown(i int) {
+	n := len(h)
 	for {
 		min := i
-		if l := 2*i + 1; l < n && actorLess(w.heap[l], w.heap[min]) {
-			min = l
+		base := 4*i + 1
+		end := base + 4
+		if end > n {
+			end = n
 		}
-		if r := 2*i + 2; r < n && actorLess(w.heap[r], w.heap[min]) {
-			min = r
+		for c := base; c < end; c++ {
+			if entryLess(&h[c], &h[min]) {
+				min = c
+			}
 		}
 		if min == i {
 			return
 		}
-		w.heap[i], w.heap[min] = w.heap[min], w.heap[i]
-		w.heap[i].heapIdx = i
-		w.heap[min].heapIdx = min
+		h[i], h[min] = h[min], h[i]
+		h[i].a.heapIdx = i
+		h[min].a.heapIdx = min
 		i = min
 	}
+}
+
+// heapPush enqueues a ready actor in whichever ready queue owns it: the
+// actor's partition heap under the parallel engine, otherwise the
+// world's. No-op in linear mode, where the scan consults actor state
+// directly.
+func (w *World) heapPush(a *Actor) {
+	if a.part != nil {
+		a.part.heap.push(a)
+		return
+	}
+	if w.linearScan {
+		return
+	}
+	w.heap.push(a)
+}
+
+// heapPop removes and returns the minimal-(time,id) ready actor, or nil
+// (serial engine only).
+func (w *World) heapPop() *Actor {
+	return w.heap.pop()
+}
+
+// heapFix restores the heap invariant after a's clock changed while
+// enqueued (SpawnAt and child-spawn set the start time after Spawn).
+func (w *World) heapFix(a *Actor) {
+	if a.part != nil {
+		a.part.heap.fix(a)
+		return
+	}
+	if w.linearScan {
+		return
+	}
+	w.heap.fix(a)
 }
 
 // nonDaemonAlive reports whether any non-daemon actor has not finished
@@ -382,7 +604,11 @@ func (w *World) killAll() {
 		}
 		a.state = killed
 		a.resume <- struct{}{}
-		<-w.yield
+		if a.part != nil {
+			<-a.part.yield
+		} else {
+			<-w.yield
+		}
 	}
 	// Every actor goroutine has now exited (finished actors yielded for
 	// the last time before killAll began; killed ones were just joined via
@@ -404,7 +630,7 @@ func (w *World) Reserve(n int) {
 		w.actors = actors
 	}
 	if !w.linearScan && cap(w.heap) < n {
-		heap := make([]*Actor, len(w.heap), n)
+		heap := make(actorHeap, len(w.heap), n)
 		copy(heap, w.heap)
 		w.heap = heap
 	}

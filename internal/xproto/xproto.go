@@ -280,6 +280,7 @@ func NewInbox(name string) *Inbox { return &Inbox{name: name} }
 // learns nothing, exactly like a lost cross-enclave interrupt. Shutdown
 // poisons (nil Buf) are local teardown control flow, never faulted.
 func (in *Inbox) Put(a *sim.Actor, buf []byte, via Link) {
+	a.Settle() // inbox order must follow virtual time, not batched host order
 	if buf != nil {
 		if inj := a.World().Injector(); inj != nil {
 			drop, delay := inj.DeliveryFault(in.name, a, len(buf))
@@ -287,7 +288,7 @@ func (in *Inbox) Put(a *sim.Actor, buf []byte, via Link) {
 				a.Charge("fault-delay", delay)
 			}
 			if drop {
-				if obs := a.World().Observer(); obs != nil {
+				if obs := a.Observer(); obs != nil {
 					obs.Count("fault-drop:"+in.name, a, 0)
 				}
 				in.Recycle(buf)
@@ -346,6 +347,7 @@ func (in *Inbox) PutShutdown(a *sim.Actor) { in.Put(a, nil, nil) }
 // inbox is empty. Multiple actors may wait concurrently; each delivery
 // goes to exactly one. A Delivery with nil Buf is a shutdown request.
 func (in *Inbox) Get(a *sim.Actor) Delivery {
+	a.Settle() // inbox order must follow virtual time, not batched host order
 	for in.Len() == 0 {
 		in.waiters = append(in.waiters, a)
 		a.Block("inbox " + in.name)
@@ -365,7 +367,7 @@ func (in *Inbox) Get(a *sim.Actor) Delivery {
 		in.head = 0
 	}
 	if d.Buf != nil {
-		if obs := a.World().Observer(); obs != nil {
+		if obs := a.Observer(); obs != nil {
 			obs.QueueWait("inbox:"+in.name, a, d.At, a.Now(), in.Len())
 		}
 	}
