@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build race test fuzz cover bench
+# Coverage profiles land under a git-ignored build directory, never at
+# the repo root.
+COVER_DIR ?= .cover
+
+.PHONY: check vet build race test fuzz cover bench replay
 
 # check runs everything CI needs: static analysis, a full build, the
 # race-sensitive engine/cache/trace suites, a short fuzz smoke, the
-# tier-1 test suite, and the coverage floors.
-check: vet build race test fuzz cover
+# tier-1 test suite, the repro-bundle replay, and the coverage floors.
+check: vet build race test replay fuzz cover
 
 # vet is three gates: formatting, the stock toolchain vet, and
 # xemem-vet — the in-tree analyzer suite (cmd/xemem-vet) that enforces
@@ -47,13 +51,24 @@ fuzz:
 # Coverage floors for the load-bearing packages: the sim engine, the
 # XPMEM API layer, and the cross-enclave plumbing (router, nameserver).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/sim/... ./internal/xpmem ./internal/router ./internal/nameserver
-	$(GO) tool cover -func=cover.out | tail -1
-	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	@mkdir -p $(COVER_DIR)
+	$(GO) test -coverprofile=$(COVER_DIR)/cover.out ./internal/sim/... ./internal/xpmem ./internal/router ./internal/nameserver
+	$(GO) tool cover -func=$(COVER_DIR)/cover.out | tail -1
+	@total=$$($(GO) tool cover -func=$(COVER_DIR)/cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
 	floor=80; \
 	if [ "$${total%.*}" -lt "$$floor" ]; then \
 		echo "coverage $$total% is below the $$floor% floor"; exit 1; \
 	fi
+
+# Replay every checked-in repro bundle through the CLI: each bundle
+# pins a (snapshot hash, trace digest) pair the current tree must
+# reproduce bit-exactly (DESIGN.md §12). TestReplayBundle runs the
+# same verification in-process; this step proves the shipping
+# xemem-bench binary does too.
+replay:
+	@set -e; for b in internal/experiments/testdata/repro/*.json; do \
+		$(GO) run ./cmd/xemem-bench -replay $$b; \
+	done
 
 # Engine fast-path benchmark (BENCH_engine.json), sweep benchmark
 # (serial vs parallel wall-clock plus hot-path allocs/op,

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"xemem/internal/experiments"
+	"xemem/internal/sim"
 	"xemem/internal/sim/trace"
 )
 
@@ -30,6 +32,12 @@ func main() {
 	sweepJSON := flag.Bool("sweep-json", false, "run the sweep benchmark and write BENCH_sweep.json (serial vs parallel wall-clock, allocs/op on the hot paths)")
 	faultJSON := flag.Bool("fault-json", false, "run the fault-injection sweep and write BENCH_fault.json (protocol degradation, failure attribution, and per-cell trace digests across drop rates and enclave crashes)")
 	parallelJSON := flag.Bool("parallel-json", false, "run the parallel-engine scaling grid and write BENCH_parallel.json (partition-count × actor-count, serial vs parallel wall-clock, digest identity)")
+	snapshotJSON := flag.Bool("snapshot-json", false, "run the snapshot-fork benchmark and write BENCH_snapshot.json (snapshot-forked vs re-bootstrapped fig9 sweep cells, digest identity)")
+	replayPath := flag.String("replay", "", "re-run the repro bundle at this path and verify its snapshot hash and trace digest")
+	reproPath := flag.String("repro", "", "capture a repro bundle to this path (see -recipe, -recipe-params, -cut-frac)")
+	recipeName := flag.String("recipe", "fig9", "recipe for -repro: one of "+experiments.RecipeNames())
+	recipeParams := flag.String("recipe-params", "", "JSON parameter blob for -repro (recipe defaults when empty)")
+	cutFrac := flag.Float64("cut-frac", 0.5, "where -repro places the snapshot cut, as a fraction of the run's virtual duration")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the figure sweeps (1 = serial runner; results are byte-identical at any value)")
 	partitions := flag.Int("partitions", 0, "run every experiment world on the conservative parallel engine with this many workers (0 = serial reference engine; results are byte-identical at any value)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of every simulated world to this file (open in chrome://tracing or Perfetto; combine with -fast)")
@@ -107,6 +115,61 @@ func main() {
 		}
 		fmt.Println(res.String())
 		fmt.Println("wrote BENCH_parallel.json")
+		return
+	}
+
+	if *snapshotJSON {
+		res, err := experiments.SnapshotBench(*seed, "BENCH_snapshot.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Println("wrote BENCH_snapshot.json")
+		return
+	}
+
+	if *replayPath != "" {
+		buf, err := os.ReadFile(*replayPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+			os.Exit(1)
+		}
+		var b experiments.Bundle
+		if err := json.Unmarshal(buf, &b); err != nil {
+			fmt.Fprintf(os.Stderr, "replay: %s: %v\n", *replayPath, err)
+			os.Exit(1)
+		}
+		if err := experiments.RunBundle(&b); err != nil {
+			fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replay ok: recipe %s seed %d reproduced snapshot %s… at cut %v and digest %s…\n",
+			b.Recipe, b.Seed, b.SnapshotSHA256[:16], sim.Time(b.CutNs), b.Digest.SHA256[:16])
+		return
+	}
+
+	if *reproPath != "" {
+		var params json.RawMessage
+		if *recipeParams != "" {
+			params = json.RawMessage(*recipeParams)
+		}
+		b, err := experiments.CaptureBundle(*recipeName, params, *seed, *cutFrac)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*reproPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: recipe %s seed %d, snapshot %s… at cut %v\n",
+			*reproPath, b.Recipe, b.Seed, b.SnapshotSHA256[:16], sim.Time(b.CutNs))
 		return
 	}
 

@@ -62,7 +62,10 @@ var fixtureTests = []struct {
 		fixture: "maporder",
 		wants: []want{
 			{"internal/trace/trace.go", 13, "maporder", "ranges over a map on an exporter-feeding path"},
-			// WriteSorted uses the collect-then-sort idiom, WriteExcused is
+			{"internal/trace/snapshot.go", 22, "maporder", "ranges over a map on an exporter-feeding path"},
+			{"internal/trace/snapshot.go", 57, "maporder", "ranges over a map on an exporter-feeding path"},
+			// WriteSorted and encodeSorted (filtered collect) use the
+			// collect-then-sort idiom, WriteExcused/encodeExcused are
 			// suppressed, and acct.Total is outside the exporter scope.
 		},
 	},

@@ -17,13 +17,16 @@ import (
 // "Exporter-feeding" is a deliberate, documented heuristic, not a call
 // graph: every function in a trace package, plus any function whose name
 // marks it as a serializer (Write*/Export*/Render*/Digest*/Summary*/
-// Marshal*/Encode*/Golden*/Breakdown*, or containing JSON/Chrome).
+// Marshal*/Encode*/Golden*/Breakdown*, the unexported encode* helpers,
+// or containing JSON/Chrome/Snapshot). Snapshot encoders are in scope
+// because the snapshot image hash is a golden artifact: a map-ordered
+// section makes the same world produce different hashes run to run.
 // Order-insensitive map walks elsewhere (teardown, accounting) are out
 // of scope by construction rather than by annotation burden.
 
 var exporterPrefixes = []string{
 	"Write", "Export", "Render", "Digest", "Summary",
-	"Marshal", "Encode", "Golden", "Breakdown",
+	"Marshal", "Encode", "Golden", "Breakdown", "encode",
 }
 
 func newMaporder() *Analyzer {
@@ -54,7 +57,8 @@ func exporterFunc(name string) bool {
 			return true
 		}
 	}
-	return strings.Contains(name, "JSON") || strings.Contains(name, "Chrome")
+	return strings.Contains(name, "JSON") || strings.Contains(name, "Chrome") ||
+		strings.Contains(name, "Snapshot")
 }
 
 func checkMapOrder(pass *Pass, fd *ast.FuncDecl) {
@@ -100,18 +104,44 @@ func checkMapOrder(pass *Pass, fd *ast.FuncDecl) {
 }
 
 // collectLoop reports whether the range body does nothing but append
-// (the collect-keys half of the sorted-iteration idiom).
+// (the collect-keys half of the sorted-iteration idiom). Appends may be
+// guarded by if statements — a filtered collect (snapshot encoders skip
+// tombstones this way) is still order-insensitive, because the appended
+// keys get sorted downstream like any other collect.
 func collectLoop(rs *ast.RangeStmt) bool {
-	if len(rs.Body.List) == 0 {
+	return collectStmts(rs.Body.List)
+}
+
+// collectStmts reports whether every statement is an append assignment
+// or an if (with optional else) whose branches are themselves collects.
+func collectStmts(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
 		return false
 	}
-	for _, stmt := range rs.Body.List {
-		as, ok := stmt.(*ast.AssignStmt)
-		if !ok || len(as.Rhs) != 1 {
-			return false
-		}
-		call, ok := as.Rhs[0].(*ast.CallExpr)
-		if !ok || calleeName(call) != "append" {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || calleeName(call) != "append" {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || !collectStmts(s.Body.List) {
+				return false
+			}
+			switch els := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !collectStmts(els.List) {
+					return false
+				}
+			default:
+				return false
+			}
+		default:
 			return false
 		}
 	}

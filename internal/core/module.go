@@ -259,6 +259,7 @@ func New(name string, w *sim.World, costs *sim.Costs, os OS, hostNS bool) *Modul
 		m.NS = nameserver.New()
 		m.R.SetSelf(xproto.NameServerID)
 	}
+	w.AddSnapshotComponent("mod/"+name, m.EncodeSnapshot)
 	return m
 }
 

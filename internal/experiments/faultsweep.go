@@ -80,10 +80,11 @@ func FaultSweep(seed uint64, rounds, workers int, jsonPath string) (*FaultSweepR
 	for _, crash := range []bool{false, true} {
 		for _, drop := range FaultDropRates {
 			drop, crash := drop, crash
+			obs := cellObserve(len(cells))
 			cells = append(cells, sweep.Cell[FaultCell]{
 				Label: fmt.Sprintf("fault drop=%.2f crash=%v", drop, crash),
 				Run: func() (FaultCell, error) {
-					return faultRun(seed, drop, crash, rounds)
+					return faultRun(obs, seed, drop, crash, rounds)
 				},
 			})
 		}
@@ -106,13 +107,20 @@ func FaultSweep(seed uint64, rounds, workers int, jsonPath string) (*FaultSweepR
 	return res, nil
 }
 
-// faultRun executes one fault-sweep cell in a fresh world.
-func faultRun(seed uint64, drop float64, crash bool, rounds int) (FaultCell, error) {
+// faultRun executes one fault-sweep cell in a fresh world. The world is
+// announced through the standard observability seam; when the installed
+// hook provides a tracer, the cell digest comes from it, otherwise a
+// private digest-only tracer is installed.
+func faultRun(obs observeFn, seed uint64, drop float64, crash bool, rounds int) (FaultCell, error) {
 	cell := FaultCell{DropProb: drop, Crash: crash}
 	node := xemem.NewNode(xemem.NodeConfig{Seed: seed, MemBytes: 2 << 30})
-	tr := trace.NewTracer(fmt.Sprintf("fault/drop=%.2f/crash=%v", drop, crash))
-	tr.SetKeepEvents(false)
-	node.World().SetObserver(tr)
+	announce(obs, fmt.Sprintf("fault/drop=%.2f/crash=%v", drop, crash), node.World())
+	tr, ok := node.World().Observer().(*trace.Tracer)
+	if !ok {
+		tr = trace.NewTracer(fmt.Sprintf("fault/drop=%.2f/crash=%v", drop, crash))
+		tr.SetKeepEvents(false)
+		node.World().SetObserver(tr)
+	}
 
 	plan := fault.Plan{DropProb: drop, DelayProb: drop, DelayMax: 5 * sim.Microsecond}
 	ck, err := node.BootCoKernel("victim", 256<<20)

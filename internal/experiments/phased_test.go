@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotFork is the fork-identity contract behind the snapshot
+// bench: a Figure 9 cell continued from a decoded snapshot image must be
+// indistinguishable — simulated time, analysis points, and trace digest,
+// dispatch counter included — from the same cell re-run from scratch
+// through the bootstrap prefix.
+func TestSnapshotFork(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    fig9PrefixParams
+	}{
+		{"multi", fig9PrefixParams{Nodes: 2, MultiEnclave: true, PrefixIters: 120, Recurring: true}},
+		{"linux-only", fig9PrefixParams{Nodes: 2, MultiEnclave: false, PrefixIters: 120}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ph, err := fig9Snapshot(7, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img := ph.w.SnapshotImage()
+
+			// Round-trip the image through the wire format, as the bench's
+			// shared prep does.
+			var buf bytes.Buffer
+			if _, err := img.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			tail := fig9Tail{Recurring: true, Iters: 60}
+			boot, err := ph.runSuffix(tail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fk, err := fig9ForkBytes(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fork, err := fk.runSuffix(tail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if boot != fork {
+				t.Fatalf("outcomes diverge:\n boot %+v\n fork %+v", boot, fork)
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"xemem/internal/core"
 	"xemem/internal/sim"
+	"xemem/internal/sim/snapshot"
 	"xemem/internal/xproto"
 )
 
@@ -119,7 +120,50 @@ func New(w *sim.World, plan Plan) *Injector {
 		parts:    map[int]*partitionState{0: {rng: rng}},
 	}
 	w.SetInjector(inj)
+	w.AddSnapshotComponent("fault/injector", inj.EncodeSnapshot)
 	return inj
+}
+
+// EncodeSnapshot appends the injector's state to e: the plan summary
+// (shape only — the schedule is a pure function of plan and seed), then
+// every partition's RNG stream position and statistics in partition
+// order. The parts map grows lazily on host threads, so it is collected
+// and sorted under the lock.
+func (i *Injector) EncodeSnapshot(e *snapshot.Enc) {
+	e.F64(i.plan.DropProb)
+	e.F64(i.plan.DelayProb)
+	e.I64(int64(i.plan.DelayMax))
+	e.U64(uint64(len(i.plan.NSOutages)))
+	for _, w := range i.plan.NSOutages {
+		e.I64(int64(w.Start))
+		e.I64(int64(w.End))
+	}
+	e.U64(uint64(len(i.plan.Crashes)))
+	for _, c := range i.plan.Crashes {
+		e.I64(int64(c.At))
+		e.Str(c.Module)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	ids := make([]int, 0, len(i.parts))
+	for p := range i.parts {
+		ids = append(ids, p)
+	}
+	sort.Ints(ids)
+	e.U64(uint64(len(ids)))
+	for _, p := range ids {
+		ps := i.parts[p]
+		e.U64(uint64(p))
+		state, spare, spareOK := ps.rng.State()
+		e.U64(state)
+		e.F64(spare)
+		e.Bool(spareOK)
+		e.U64(uint64(ps.stats.Deliveries))
+		e.U64(uint64(ps.stats.Drops))
+		e.U64(uint64(ps.stats.Delays))
+		e.I64(int64(ps.stats.DelayTime))
+		e.U64(uint64(ps.stats.Crashes))
+	}
 }
 
 // partition returns partition p's injector state, creating it on first

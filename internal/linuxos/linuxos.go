@@ -27,6 +27,7 @@ import (
 	"xemem/internal/pagetable"
 	"xemem/internal/proc"
 	"xemem/internal/sim"
+	"xemem/internal/sim/snapshot"
 	"xemem/internal/xproto"
 )
 
@@ -51,6 +52,9 @@ type Linux struct {
 	nextPID int
 
 	procCore map[*proc.Process]*sim.Core
+	// procs holds every process in creation order — procCore is keyed by
+	// host pointer, so snapshot encoding iterates this slice instead.
+	procs []*proc.Process
 
 	// activeMappers counts processes currently inside an address-space
 	// update; >1 means shared mm structures are bouncing between cores.
@@ -71,11 +75,15 @@ func New(name string, w *sim.World, costs *sim.Costs, zone *mem.Zone, dom proc.D
 	for i := 0; i < ncores; i++ {
 		l.cores = append(l.cores, sim.NewCore(fmt.Sprintf("%s/core%d", name, i)))
 	}
+	w.AddSnapshotComponent("os/"+name, l.EncodeSnapshot)
 	return l
 }
 
 // SetVirtHooks marks this instance as a Palacios guest.
 func (l *Linux) SetVirtHooks(v VirtHooks) { l.virt = v }
+
+// Name reports the instance name (also its snapshot section suffix).
+func (l *Linux) Name() string { return l.name }
 
 // Zone returns the instance's memory zone.
 func (l *Linux) Zone() *mem.Zone { return l.zone }
@@ -96,7 +104,67 @@ func (l *Linux) NewProcess(name string, coreIdx int) *proc.Process {
 		coreIdx = len(l.cores) - 1
 	}
 	l.procCore[p] = l.cores[coreIdx]
+	l.procs = append(l.procs, p)
 	return p
+}
+
+// EncodeSnapshot appends the kernel instance's state to e: every process
+// in creation order with its PID and address space, then every core's
+// scheduling state and statistics in index order. Processes come first so
+// LoadSnapshotOverlay can reach the address-space cursors and stop; the
+// zone is owned by the node's PhysMem (or the VMM) and is captured there.
+func (l *Linux) EncodeSnapshot(e *snapshot.Enc) {
+	e.Str(l.name)
+	e.U64(uint64(l.nextPID))
+	e.U64(uint64(len(l.procs)))
+	for _, p := range l.procs {
+		e.U64(uint64(p.PID))
+		e.Str(p.Name)
+		p.AS.EncodeSnapshot(e)
+	}
+	e.U64(uint64(len(l.cores)))
+	for _, c := range l.cores {
+		c.EncodeSnapshot(e)
+	}
+}
+
+// LoadSnapshotOverlay overlays the warm-fork state from a section encoded
+// by EncodeSnapshot: per process, the address-space placement cursor (so
+// post-fork automatic placements hand out the addresses the snapshotted
+// world would have). Identity fields are verified, not overwritten — a
+// mismatch yields snapshot.ErrCorrupt. Core scheduling statistics trail
+// the processes and are accumulated observability, not behavior; the
+// overlay stops before them.
+func (l *Linux) LoadSnapshotOverlay(d *snapshot.Dec) error {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("linuxos: "+format+": %w", append(args, snapshot.ErrCorrupt)...)
+	}
+	if name := d.Str(); d.Err() == nil && name != l.name {
+		return corrupt("snapshot for %q, instance is %q", name, l.name)
+	}
+	nextPID := int(d.U64())
+	nprocs := d.U64()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if nprocs != uint64(len(l.procs)) {
+		return corrupt("snapshot has %d processes, instance has %d", nprocs, len(l.procs))
+	}
+	for _, p := range l.procs {
+		pid := int(d.U64())
+		name := d.Str()
+		if d.Err() == nil && (pid != p.PID || name != p.Name) {
+			return corrupt("snapshot process %d %q, instance has %d %q", pid, name, p.PID, p.Name)
+		}
+		if err := p.AS.LoadSnapshotOverlay(d); err != nil {
+			return err
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	l.nextPID = nextPID
+	return nil
 }
 
 // CoreOf reports the core a process's syscall work executes on.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"xemem/internal/sim/snapshot"
 	"xemem/internal/xproto"
 )
 
@@ -163,3 +164,92 @@ func (ns *NS) MarkEnclaveDown(e xproto.EnclaveID) {
 
 // EnclaveDown reports whether e has been marked crashed.
 func (ns *NS) EnclaveDown(e xproto.EnclaveID) bool { return ns.down[e] }
+
+// EncodeSnapshot appends the name server's full state to e: allocation
+// cursors, counters, and the registries with every map collected and
+// sorted first. The nameOf reverse index is not encoded — it is derivable
+// from the name registry.
+func (ns *NS) EncodeSnapshot(e *snapshot.Enc) {
+	e.U64(uint64(ns.nextEnclave))
+	e.U64(uint64(ns.nextSegid))
+	e.U64(uint64(ns.EnclaveAllocs))
+	e.U64(uint64(ns.SegidAllocs))
+	e.U64(uint64(ns.Lookups))
+	e.U64(uint64(ns.Forwards))
+	e.U64(uint64(ns.EnclavesDowned))
+	segids := make([]xproto.Segid, 0, len(ns.owners))
+	for s := range ns.owners {
+		segids = append(segids, s)
+	}
+	sort.Slice(segids, func(i, j int) bool { return segids[i] < segids[j] })
+	e.U64(uint64(len(segids)))
+	for _, s := range segids {
+		e.U64(uint64(s))
+		e.U64(uint64(ns.owners[s]))
+	}
+	names := ns.Names()
+	e.U64(uint64(len(names)))
+	for _, n := range names {
+		e.Str(n)
+		e.U64(uint64(ns.names[n]))
+	}
+	downs := make([]xproto.EnclaveID, 0, len(ns.down))
+	for id := range ns.down {
+		downs = append(downs, id)
+	}
+	sort.Slice(downs, func(i, j int) bool { return downs[i] < downs[j] })
+	e.U64(uint64(len(downs)))
+	for _, id := range downs {
+		e.U64(uint64(id))
+	}
+}
+
+// LoadSnapshot replaces the name server's state from a section encoded by
+// EncodeSnapshot (warm-fork overlay). The nameOf index is rebuilt from
+// the decoded name registry.
+func (ns *NS) LoadSnapshot(d *snapshot.Dec) error {
+	nextEnclave := xproto.EnclaveID(d.U64())
+	nextSegid := xproto.Segid(d.U64())
+	enclaveAllocs := int(d.U64())
+	segidAllocs := int(d.U64())
+	lookups := int(d.U64())
+	forwards := int(d.U64())
+	downed := int(d.U64())
+	nowners := d.U64()
+	owners := make(map[xproto.Segid]xproto.EnclaveID, min64(nowners, 1024))
+	for i := uint64(0); i < nowners && d.Err() == nil; i++ {
+		owners[xproto.Segid(d.U64())] = xproto.EnclaveID(d.U64())
+	}
+	nnames := d.U64()
+	names := make(map[string]xproto.Segid, min64(nnames, 1024))
+	nameOf := make(map[xproto.Segid][]string, min64(nnames, 1024))
+	for i := uint64(0); i < nnames && d.Err() == nil; i++ {
+		n := d.Str()
+		s := xproto.Segid(d.U64())
+		names[n] = s
+		nameOf[s] = append(nameOf[s], n)
+	}
+	ndown := d.U64()
+	var down map[xproto.EnclaveID]bool
+	if ndown > 0 {
+		down = make(map[xproto.EnclaveID]bool, min64(ndown, 1024))
+	}
+	for i := uint64(0); i < ndown && d.Err() == nil; i++ {
+		down[xproto.EnclaveID(d.U64())] = true
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	ns.nextEnclave, ns.nextSegid = nextEnclave, nextSegid
+	ns.EnclaveAllocs, ns.SegidAllocs = enclaveAllocs, segidAllocs
+	ns.Lookups, ns.Forwards, ns.EnclavesDowned = lookups, forwards, downed
+	ns.owners, ns.names, ns.nameOf, ns.down = owners, names, nameOf, down
+	return nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

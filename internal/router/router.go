@@ -127,6 +127,17 @@ func (r *Router) KnownEnclaves() []xproto.EnclaveID {
 	return out
 }
 
+// PendingHops lists the reqIDs with outstanding hop-routed requests,
+// sorted (snapshot encoding and diagnostics).
+func (r *Router) PendingHops() []uint64 {
+	out := make([]uint64, 0, len(r.hops))
+	for id := range r.hops {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // RouteTable renders the routing state for diagnostics.
 func (r *Router) RouteTable() string {
 	s := fmt.Sprintf("enclave %d:", r.self)

@@ -380,6 +380,18 @@ func (w *World) runParallel() error {
 			return w.finishParallel(nil)
 		}
 
+		// Checkpoint: at this barrier every dispatch below minNext has
+		// executed, every staged send has landed, and (observed runs) the
+		// barrier replay has delivered every buffered event below minNext
+		// to the observer. When the earliest pending event is at or past
+		// the cut, that is the parallel engine's quiesce point for it —
+		// coarser than the serial engine's (a whole barrier window, not a
+		// single dispatch), which is why images record the engine kind and
+		// restores replay on the same engine they snapshot under.
+		if w.ckptFn != nil && minNext >= w.ckptT {
+			w.fireCheckpoint()
+		}
+
 		clamp := maxND
 		if anyBlocked {
 			c := blockedFloor

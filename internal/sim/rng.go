@@ -32,6 +32,18 @@ func (r *RNG) Fork(k uint64) *RNG {
 	return &RNG{state: z ^ (z >> 31)}
 }
 
+// State exports the stream's exact position — the SplitMix64 state plus
+// the cached Marsaglia polar spare — for snapshot encoding. A stream
+// restored with SetState produces the identical draw sequence from here.
+func (r *RNG) State() (state uint64, spare float64, spareOK bool) {
+	return r.state, r.spare, r.spareOK
+}
+
+// SetState overwrites the stream's position (snapshot restore).
+func (r *RNG) SetState(state uint64, spare float64, spareOK bool) {
+	r.state, r.spare, r.spareOK = state, spare, spareOK
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

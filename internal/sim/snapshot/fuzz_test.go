@@ -1,0 +1,44 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotCodec drives the decoder with arbitrary bytes. The
+// contract under fuzzing: Decode either returns a fully valid image or
+// a typed error (ErrCorrupt / ErrVersion) — never a panic, never a
+// partial image — and every accepted image re-encodes byte-identically
+// (canonical form) with a matching integrity hash.
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("XSNP"))
+	f.Add(sampleImage().Encode())
+	f.Add((&Image{Kind: "serial"}).Encode())
+	short := sampleImage().Encode()
+	f.Add(short[:len(short)/2])
+	flipped := append([]byte(nil), short...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Decode(data)
+		if err != nil {
+			if img != nil {
+				t.Fatal("error with non-nil image")
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		re := img.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted image is not canonical: re-encode differs (%d vs %d bytes)", len(re), len(data))
+		}
+		if img.Hash() == "" {
+			t.Fatal("empty hash on valid image")
+		}
+	})
+}

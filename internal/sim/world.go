@@ -101,6 +101,17 @@ type World struct {
 	// exists — to perturb timing and drop messages; nil means the
 	// zero-fault world.
 	inj Injector
+
+	// Checkpoint machinery (see checkpoint.go). recipe/recipeParams name
+	// the builder that can reconstruct this world from scratch; snapComps
+	// are the registered per-component snapshot section savers; ckptT and
+	// ckptFn arm a one-shot checkpoint callback fired at the engine's
+	// first quiesce point at or past ckptT.
+	recipe       string
+	recipeParams []byte
+	snapComps    []snapComponent
+	ckptT        Time
+	ckptFn       func()
 }
 
 // NewWorld returns an empty world whose RNG streams derive from seed.
@@ -318,18 +329,92 @@ func (w *World) Run() error {
 	w.running = true
 	defer func() { w.running = false }()
 
+	var err error
 	if w.parWorkers > 0 {
-		return w.runParallel()
+		err = w.runParallel()
+	} else {
+		err = w.runSerial(true)
 	}
+	// A checkpoint armed at or past the end of the run fires at
+	// termination, after teardown: the caller still gets its snapshot,
+	// recognizable by actor states recording the kill.
+	if w.ckptFn != nil {
+		w.fireCheckpoint()
+	}
+	return err
+}
 
+// RunPhase executes the serial engine until every current non-daemon
+// actor has finished, then returns without terminating daemons: blocked
+// daemons stay parked in their message loops, and the caller may spawn
+// more actors and call RunPhase or Run again. It is the bootstrap
+// primitive behind snapshot forking — run a world's warm-up phase,
+// snapshot (or overlay onto) the quiesced state, then attach the
+// workload proper and Run to completion. Serial engine only: the
+// parallel engine's termination cut-off is a whole-run construct.
+func (w *World) RunPhase() error {
+	if w.running {
+		return errors.New("sim: world already running")
+	}
+	if w.parWorkers > 0 {
+		panic("sim: RunPhase requires the serial engine")
+	}
+	w.running = true
+	defer func() { w.running = false }()
+	return w.runSerial(false)
+}
+
+// DrainDaemons executes every already-runnable daemon dispatch until no
+// ready actor remains, then returns with the daemons parked. RunPhase
+// returns the instant the last non-daemon finishes, which can abandon
+// daemon work already scheduled at that instant — a wake for a delivery
+// that was in flight, a deferred reply flushed after an enclave turned
+// ready. A phase boundary that must be a pure function of the phase's
+// inputs (snapshot forking) drains that residue explicitly before
+// cutting, so the quiesced state does not depend on how far past the
+// daemons' last work the non-daemons happened to run. Serial engine
+// only, like RunPhase.
+func (w *World) DrainDaemons() error {
+	if w.running {
+		return errors.New("sim: world already running")
+	}
+	if w.parWorkers > 0 {
+		panic("sim: DrainDaemons requires the serial engine")
+	}
+	w.running = true
+	defer func() { w.running = false }()
+	for {
+		var next *Actor
+		if w.linearScan {
+			next = w.pickNextLinear()
+		} else {
+			next = w.heapPop()
+		}
+		if next == nil {
+			return nil
+		}
+		w.dispatch(next)
+		next.resume <- struct{}{}
+		<-w.yield
+	}
+}
+
+// runSerial is the serial engine loop. kill selects whether daemons are
+// terminated when the last non-daemon finishes (Run) or left parked for
+// a later phase (RunPhase); deadlocks tear the world down either way.
+func (w *World) runSerial(kill bool) error {
 	for {
 		if w.linearScan {
 			if !w.nonDaemonAlive() {
-				w.killAll()
+				if kill {
+					w.killAll()
+				}
 				return nil
 			}
 		} else if w.liveNonDaemons == 0 {
-			w.killAll()
+			if kill {
+				w.killAll()
+			}
 			return nil
 		}
 		var next *Actor
@@ -358,6 +443,14 @@ func (w *World) Run() error {
 // the scheduler or, in heap mode, the yielding actor — always under the
 // one-runnable-goroutine guarantee.
 func (w *World) dispatch(next *Actor) {
+	// The checkpoint fires the instant the next dispatch would reach the
+	// cut: every dispatch strictly below ckptT has executed and been
+	// observed, none at or past it has — the exact serial cut semantics
+	// the snapshot watermark records. Firing before the clock update and
+	// the observer call keeps the dispatch itself on the far side.
+	if w.ckptFn != nil && next.now >= w.ckptT {
+		w.fireCheckpoint()
+	}
 	if next.now > w.now {
 		w.now = next.now
 	}
