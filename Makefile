@@ -36,8 +36,8 @@ build:
 # (TestParallelFaultMatrix), each held byte-identical to its serial
 # reference.
 race:
-	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem ./internal/experiments/sweep ./internal/fault
-	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain|TestParallel|TestFaultSweep'
+	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem ./internal/experiments/sweep ./internal/fault ./internal/cluster ./internal/rdma
+	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain|TestParallel|TestFaultSweep|TestClusterSweep'
 
 test:
 	$(GO) test ./...
@@ -74,11 +74,15 @@ replay:
 # (serial vs parallel wall-clock plus hot-path allocs/op,
 # BENCH_sweep.json), the fault-injection sweep (protocol degradation
 # under message loss and enclave crashes, BENCH_fault.json — fully
-# deterministic: reruns are byte-identical), and the parallel-engine
+# deterministic: reruns are byte-identical), the parallel-engine
 # scaling grid (partition-count × actor-count, serial vs parallel
-# wall-clock with digest identity, BENCH_parallel.json).
+# wall-clock with digest identity, BENCH_parallel.json), and the
+# cluster-scale name-service sweep (flat vs sharded lookup latency
+# across node counts, BENCH_cluster.json — also byte-identical on
+# rerun).
 bench:
 	$(GO) run ./cmd/xemem-bench -json
 	$(GO) run ./cmd/xemem-bench -sweep-json
 	$(GO) run ./cmd/xemem-bench -fault-json
 	$(GO) run ./cmd/xemem-bench -parallel-json
+	$(GO) run ./cmd/xemem-bench -cluster-json

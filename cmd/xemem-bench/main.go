@@ -31,6 +31,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "run the engine benchmark and write BENCH_engine.json (host wall-clock of the fast paths vs their reference implementations)")
 	sweepJSON := flag.Bool("sweep-json", false, "run the sweep benchmark and write BENCH_sweep.json (serial vs parallel wall-clock, allocs/op on the hot paths)")
 	faultJSON := flag.Bool("fault-json", false, "run the fault-injection sweep and write BENCH_fault.json (protocol degradation, failure attribution, and per-cell trace digests across drop rates and enclave crashes)")
+	clusterJSON := flag.Bool("cluster-json", false, "run the cluster-scale name-service sweep and write BENCH_cluster.json (flat vs sharded lookup latency across node counts, lease-cache counters, churn cells, and per-cell trace digests)")
 	parallelJSON := flag.Bool("parallel-json", false, "run the parallel-engine scaling grid and write BENCH_parallel.json (partition-count × actor-count, serial vs parallel wall-clock, digest identity)")
 	snapshotJSON := flag.Bool("snapshot-json", false, "run the snapshot-fork benchmark and write BENCH_snapshot.json (snapshot-forked vs re-bootstrapped fig9 sweep cells, digest identity)")
 	replayPath := flag.String("replay", "", "re-run the repro bundle at this path and verify its snapshot hash and trace digest")
@@ -170,6 +171,17 @@ func main() {
 		}
 		fmt.Printf("wrote %s: recipe %s seed %d, snapshot %s… at cut %v\n",
 			*reproPath, b.Recipe, b.Seed, b.SnapshotSHA256[:16], sim.Time(b.CutNs))
+		return
+	}
+
+	if *clusterJSON {
+		res, err := experiments.ClusterSweep(*seed, 0, *parallel, "BENCH_cluster.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Println("wrote BENCH_cluster.json")
 		return
 	}
 

@@ -40,10 +40,14 @@ var fixtureTests = []struct {
 		fixture: "chargecheck",
 		wants: []want{
 			// Used flows into Charge through two locals in sub.DoWork;
-			// Excused carries a directive. Only Dead survives.
+			// LeaseCheck is charged by the lease-expiry probe in lease.go;
+			// Excused carries a directive. Dead and LeaseExpiry survive —
+			// the TTL is only compared against the clock, and a deadline
+			// comparison is a read, not a charge sink.
 			{"internal/sim/sim.go", 15, "chargecheck", "Costs.Dead is never charged"},
-			{"internal/sim/sim.go", 33, "chargecheck", "writes Actor.now directly"},
-			// WarpExcused (line 38) is suppressed end-of-line.
+			{"internal/sim/sim.go", 27, "chargecheck", "Costs.LeaseExpiry is never charged"},
+			{"internal/sim/sim.go", 40, "chargecheck", "writes Actor.now directly"},
+			// WarpExcused (line 45) is suppressed end-of-line.
 		},
 	},
 	{
@@ -64,6 +68,11 @@ var fixtureTests = []struct {
 			{"internal/trace/trace.go", 13, "maporder", "ranges over a map on an exporter-feeding path"},
 			{"internal/trace/snapshot.go", 22, "maporder", "ranges over a map on an exporter-feeding path"},
 			{"internal/trace/snapshot.go", 57, "maporder", "ranges over a map on an exporter-feeding path"},
+			// shard.go: the lease map is the unordered half of a shard
+			// layout; EncodeSnapshot ranges it raw (flagged — the replica
+			// slices above it are ordered and silent), encodeLeasesSorted
+			// collects and sorts.
+			{"internal/trace/shard.go", 24, "maporder", "ranges over a map on an exporter-feeding path"},
 			// WriteSorted and encodeSorted (filtered collect) use the
 			// collect-then-sort idiom, WriteExcused/encodeExcused are
 			// suppressed, and acct.Total is outside the exporter scope.

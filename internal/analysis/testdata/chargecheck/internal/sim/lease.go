@@ -1,0 +1,16 @@
+// Lease-expiry cases for the chargecheck fixture: a name-service lease
+// cache charges a probe cost on every validity check, but the TTL it
+// compares the clock against is never itself charged — a deadline
+// comparison is a read, not a charge sink.
+package sim
+
+// LeaseValid charges the expiry probe, then compares the lease's fill
+// time against the TTL. LeaseCheck reaches a sink (silent); LeaseExpiry
+// appears only in the comparison (flagged at its declaration).
+func (a *Actor) LeaseValid(c *Costs, filled Time) bool {
+	a.Charge("lease-check", c.LeaseCheck)
+	if a.now-filled < c.LeaseExpiry {
+		return true
+	}
+	return false
+}

@@ -18,6 +18,13 @@ type Costs struct {
 	//
 	//xemem:allow chargecheck -- fixture: deliberately unwired to prove the directive works
 	Excused Time
+
+	// LeaseCheck is charged by the lease-expiry probe in lease.go.
+	LeaseCheck Time
+
+	// LeaseExpiry is a TTL the lease path only compares against the
+	// clock; reading is not charging, so the analyzer must flag it.
+	LeaseExpiry Time
 }
 
 // Actor is the fixture actor.

@@ -99,6 +99,57 @@ func TestAllreduceAmplifiesTailNoise(t *testing.T) {
 	}
 }
 
+// TestAllreduceSpuriousWakeup is the regression test for the barrier's
+// generation guard: Unblock targets an actor, not a wait, so any
+// subsystem sharing actors with the barrier can wake a waiter before its
+// generation completes. Without the `for gen == myGen` re-block loop, a
+// spuriously woken waiter would release immediately with a stale (zero)
+// releaseAt instead of at max(arrivals) + latency. A noise actor spams
+// Unblock at the blocked waiters — under the conservative parallel
+// engine, which is where an unguarded wait would also race — and every
+// party must still leave at exactly the collective's completion time.
+func TestAllreduceSpuriousWakeup(t *testing.T) {
+	w := sim.NewWorld(3)
+	w.SetParallel(2)
+	b := NewAllreduce(3, 30*sim.Microsecond)
+	parties := make([]*sim.Actor, 3)
+	var outs []sim.Time
+	for i, d := range []sim.Time{100, 500, 300} {
+		delay := d * sim.Microsecond
+		parties[i] = w.Spawn(fmt.Sprintf("n%d", i), func(a *sim.Actor) {
+			a.Advance(delay)
+			b.Arrive(a)
+			outs = append(outs, a.Now())
+		})
+	}
+	w.Spawn("noise", func(a *sim.Actor) {
+		// Fires well past n0's and n2's arrivals but stays below the
+		// 530µs release, so every wake it lands is spurious (Unblock on a
+		// non-blocked actor is a no-op, so the unarrived are untouched).
+		for i := 0; i < 40; i++ {
+			a.Advance(7 * sim.Microsecond)
+			for _, p := range parties {
+				a.Unblock(p)
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 530 * sim.Microsecond
+	if len(outs) != 3 {
+		t.Fatalf("%d parties released, want 3", len(outs))
+	}
+	for _, o := range outs {
+		if o != want {
+			t.Fatalf("spurious wakeup leaked through the generation guard: released at %v, want %v (all = %v)", o, want, outs)
+		}
+	}
+	if b.Rounds != 1 {
+		t.Fatalf("rounds = %d", b.Rounds)
+	}
+}
+
 func TestSingleNodeBarrierIsLatencyOnly(t *testing.T) {
 	w := sim.NewWorld(1)
 	b := NewAllreduce(1, 30*sim.Microsecond)

@@ -18,10 +18,10 @@ const pageSize = extent.PageSize
 const AttachAll = ^uint64(0)
 
 // resolveDst rewrites a name-server-addressed segment command to its
-// owning enclave when this module hosts the name server itself — there is
-// no "toward the NS" link to defer the resolution to.
+// owning enclave when this module hosts the root name server itself —
+// there is no "toward the NS" link to defer the resolution to.
 func (m *Module) resolveDst(a *sim.Actor, msg *xproto.Message) error {
-	if m.NS == nil || msg.Dst != xproto.NoEnclave {
+	if !m.nsRoot || msg.Dst != xproto.NoEnclave {
 		return nil
 	}
 	switch msg.Type {
@@ -107,7 +107,7 @@ func (m *Module) rpc(a *sim.Actor, msg *xproto.Message, pol RetryPolicy) (*xprot
 		// then learns the owner is down right here (ErrEnclaveDown); others
 		// fall back to the name-server route, where the same verdict comes
 		// back on the wire.
-		if m.NS != nil && origDst == xproto.NoEnclave {
+		if m.nsRoot && origDst == xproto.NoEnclave {
 			msg.Dst = xproto.NoEnclave
 			if err := m.resolveDst(a, msg); err != nil {
 				return nil, opErr(msg.Type.String(), err, msg.Segid, msg.Apid)
@@ -211,7 +211,14 @@ func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint
 	}
 
 	var segid xproto.Segid
-	if m.NS != nil {
+	switch {
+	case m.shards != nil:
+		var err error
+		segid, err = m.shardAllocSegid(a, RetryPolicy{})
+		if err != nil {
+			return xproto.NoSegid, err
+		}
+	case m.nsRoot:
 		if err := m.nsWait(a); err != nil {
 			return xproto.NoSegid, opErr("make", err, xproto.NoSegid, xproto.NoApid)
 		}
@@ -221,7 +228,7 @@ func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint
 		if err != nil {
 			return xproto.NoSegid, err
 		}
-	} else {
+	default:
 		resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgSegidAllocReq, Dst: xproto.NoEnclave}, RetryPolicy{})
 		if err != nil {
 			return xproto.NoSegid, err
@@ -238,9 +245,12 @@ func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint
 	if name != "" {
 		if err := m.publish(a, segid, name); err != nil {
 			delete(m.segs, segid)
-			if m.NS != nil {
+			switch {
+			case m.shards != nil:
+				_ = m.shardRemove(a, segid)
+			case m.nsRoot:
 				_ = m.NS.RemoveSegid(segid, m.R.Self())
-			} else {
+			default:
 				m.notify(a, &xproto.Message{Type: xproto.MsgSegidRemove, Dst: xproto.NoEnclave, Segid: segid})
 			}
 			return xproto.NoSegid, err
@@ -251,7 +261,10 @@ func (m *Module) Make(a *sim.Actor, p *proc.Process, va pagetable.VA, bytes uint
 }
 
 func (m *Module) publish(a *sim.Actor, segid xproto.Segid, name string) error {
-	if m.NS != nil {
+	if m.shards != nil {
+		return m.shardPublish(a, segid, name, RetryPolicy{})
+	}
+	if m.nsRoot {
 		if err := m.nsWait(a); err != nil {
 			return &OpError{Op: "publish", Segid: segid, Name: name, Err: err}
 		}
@@ -270,7 +283,10 @@ func (m *Module) Lookup(a *sim.Actor, name string) (xproto.Segid, error) {
 		return xproto.NoSegid, err
 	}
 	a.Charge("syscall", m.c.Syscall)
-	if m.NS != nil {
+	if m.shards != nil {
+		return m.shardNameLookup(a, name, RetryPolicy{})
+	}
+	if m.nsRoot {
 		if err := m.nsWait(a); err != nil {
 			return xproto.NoSegid, &OpError{Op: "lookup", Name: name, Err: err}
 		}
@@ -305,7 +321,11 @@ func (m *Module) Remove(a *sim.Actor, p *proc.Process, segid xproto.Segid) error
 	}
 	seg.Removed = true
 	m.invalidateFrameCache(segid)
-	if m.NS != nil {
+	if m.shards != nil {
+		delete(m.leases, segid)
+		return m.shardRemove(a, segid)
+	}
+	if m.nsRoot {
 		if err := m.nsWait(a); err != nil {
 			return opErr("remove", err, segid, xproto.NoApid)
 		}
@@ -345,7 +365,14 @@ func (m *Module) GetWith(a *sim.Actor, p *proc.Process, segid xproto.Segid, opts
 		seg.permits[apid] = &Permit{Apid: apid, Perm: perm, Holder: m.R.Self(), HolderP: p}
 		return apid, nil
 	}
-	resp, err := m.rpc(a, &xproto.Message{Type: xproto.MsgGetReq, Dst: xproto.NoEnclave, Segid: segid, Perm: perm}, opts.policy())
+	req := &xproto.Message{Type: xproto.MsgGetReq, Dst: xproto.NoEnclave, Segid: segid, Perm: perm}
+	var resp *xproto.Message
+	var err error
+	if m.shards != nil {
+		resp, err = m.shardRPC(a, req, opts.policy())
+	} else {
+		resp, err = m.rpc(a, req, opts.policy())
+	}
 	if err != nil {
 		return xproto.NoApid, err
 	}
@@ -386,8 +413,31 @@ func (m *Module) Release(a *sim.Actor, p *proc.Process, segid xproto.Segid, apid
 	if m.dead[g.owner] {
 		return nil // the owner crashed; there is no one left to notify
 	}
-	m.notify(a, &xproto.Message{Type: xproto.MsgReleaseNotify, Dst: xproto.NoEnclave, Segid: segid, Apid: apid})
+	m.notifyOwner(a, g.owner, &xproto.Message{Type: xproto.MsgReleaseNotify, Dst: xproto.NoEnclave, Segid: segid, Apid: apid})
 	return nil
+}
+
+// notifyOwner sends a fire-and-forget command to a segment's owner: via
+// the name server in flat worlds, directly in sharded ones (release and
+// detach record the owner when the grant/attachment is made, so the
+// notify needs no resolution).
+func (m *Module) notifyOwner(a *sim.Actor, owner xproto.EnclaveID, msg *xproto.Message) {
+	if m.shards == nil {
+		m.notify(a, msg)
+		return
+	}
+	if owner == xproto.NoEnclave || m.dead[owner] {
+		m.Stats.DroppedMessages++
+		return
+	}
+	msg.Dst = owner
+	msg.Src = m.R.Self()
+	l, err := m.route(owner)
+	if err != nil {
+		m.Stats.DroppedMessages++
+		return
+	}
+	m.sendOn(a, l, msg)
 }
 
 // Attach maps bytes of the segment starting at the given byte offset into
@@ -457,18 +507,40 @@ func (m *Module) AttachWith(a *sim.Actor, p *proc.Process, segid xproto.Segid, a
 		return region.Base, nil
 	}
 
-	resp, err := m.rpc(a, &xproto.Message{
+	req := &xproto.Message{
 		Type: xproto.MsgAttachReq, Dst: xproto.NoEnclave,
 		Segid: segid, Apid: apid, Offset: offset, Pages: pages, Perm: perm,
-	}, opts.policy())
+	}
+	var resp *xproto.Message
+	var err error
+	if m.shards != nil {
+		resp, err = m.shardRPC(a, req, opts.policy())
+	} else {
+		resp, err = m.rpc(a, req, opts.policy())
+	}
 	if err != nil {
 		return 0, err
 	}
-	region, err := m.os.MapRemote(a, p, resp.List, perm)
+	list := resp.List
+	var mirror extent.List
+	if m.nic != nil && m.nic.Remote(resp.Src) {
+		// Cross-machine attach: pull the bytes over the fabric into local
+		// frames (one-time RDMA read). The mirror is a snapshot copy, so
+		// write mappings — which could not be kept coherent — are refused.
+		if perm&xproto.PermWrite != 0 {
+			return 0, opErr("attach", ErrPermission, segid, apid)
+		}
+		list, err = m.nic.MirrorFrames(a, resp.Src, list)
+		if err != nil {
+			return 0, opErr("attach", err, segid, apid)
+		}
+		mirror = list
+	}
+	region, err := m.os.MapRemote(a, p, list, perm)
 	if err != nil {
 		return 0, err
 	}
-	m.attachments[region] = &Attachment{Region: region, Segid: segid, Apid: apid, Local: false, Owner: resp.Src, offset: offset}
+	m.attachments[region] = &Attachment{Region: region, Segid: segid, Apid: apid, Local: false, Owner: resp.Src, offset: offset, mirror: mirror}
 	m.Stats.AttachesMade++
 	return region.Base, nil
 }
@@ -504,10 +576,13 @@ func (m *Module) Detach(a *sim.Actor, p *proc.Process, va pagetable.VA) error {
 		if err := m.os.UnmapRemote(a, p, region); err != nil {
 			return err
 		}
+		if att.mirror.Pages() > 0 && m.nic != nil {
+			m.nic.FreeMirror(att.mirror)
+		}
 		if att.Poisoned {
 			m.poisoned--
 		} else {
-			m.notify(a, &xproto.Message{
+			m.notifyOwner(a, att.Owner, &xproto.Message{
 				Type: xproto.MsgDetachNotify, Dst: xproto.NoEnclave,
 				Segid: att.Segid, Apid: att.Apid, Offset: att.offset, Pages: pages,
 			})

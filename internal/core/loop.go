@@ -26,7 +26,7 @@ func (m *Module) handle(a *sim.Actor, msg *xproto.Message, via xproto.Link) {
 		// A late or duplicate pong (we already picked a channel): ignore.
 
 	case xproto.MsgEnclaveIDReq:
-		if m.NS != nil {
+		if m.nsRoot {
 			a.Charge("ns-op", m.c.NSOp)
 			id := m.NS.AllocEnclaveID()
 			m.R.Learn(id, via)
@@ -57,8 +57,8 @@ func (m *Module) handle(a *sim.Actor, msg *xproto.Message, via xproto.Link) {
 	default:
 		switch {
 		case msg.Dst == xproto.NoEnclave:
-			// Addressed to the name server.
-			if m.NS != nil {
+			// Addressed to the root name server.
+			if m.nsRoot {
 				m.handleNS(a, msg)
 				return
 			}
@@ -67,6 +67,12 @@ func (m *Module) handle(a *sim.Actor, msg *xproto.Message, via xproto.Link) {
 			m.forward(a, msg, msg.Dst)
 		case msg.Type.IsResponse():
 			m.complete(a, msg)
+		case m.NS != nil && isShardServiceMsg(msg.Type):
+			// A name-service command addressed directly to this enclave:
+			// sharded worlds route allocations, lookups, and replication
+			// syncs straight at shard replicas (flat worlds only ever send
+			// these types toward Dst==NoEnclave, so this arm is dead there).
+			m.handleNS(a, msg)
 		default:
 			m.handleOwner(a, msg)
 		}
@@ -120,20 +126,61 @@ func (m *Module) handleNS(a *sim.Actor, msg *xproto.Message) {
 			resp.Status = xproto.StatusError
 		} else {
 			resp.Value = uint64(segid)
+			m.replicateShard(a, &xproto.Message{Type: xproto.MsgShardSyncAlloc, Segid: segid, Value: uint64(msg.Src)})
 		}
 		m.reply(a, resp)
 
 	case xproto.MsgSegidRemove:
 		if err := m.NS.RemoveSegid(msg.Segid, msg.Src); err != nil {
 			m.Stats.DroppedMessages++
+		} else {
+			m.replicateShard(a, &xproto.Message{Type: xproto.MsgShardSyncRemove, Segid: msg.Segid})
 		}
 
 	case xproto.MsgNamePublish:
 		resp := &xproto.Message{Type: xproto.MsgNamePublishResp, ReqID: msg.ReqID, Dst: msg.Src, Src: m.R.Self()}
-		if err := m.NS.Publish(msg.Name, msg.Segid, msg.Src); err != nil {
+		var err error
+		if m.shards != nil {
+			// A name's home shard generally does not hold the segid's
+			// registration, so the sharded bind skips owner validation.
+			err = m.NS.BindName(msg.Name, msg.Segid)
+		} else {
+			err = m.NS.Publish(msg.Name, msg.Segid, msg.Src)
+		}
+		if err != nil {
 			resp.Status = xproto.StatusDenied
+		} else if m.shards != nil {
+			m.replicateShard(a, &xproto.Message{Type: xproto.MsgShardSyncPublish, Segid: msg.Segid, Name: msg.Name})
 		}
 		m.reply(a, resp)
+
+	case xproto.MsgShardLookupReq:
+		resp := &xproto.Message{Type: xproto.MsgShardLookupResp, ReqID: msg.ReqID, Dst: msg.Src, Src: m.R.Self(), Segid: msg.Segid}
+		owner, ok := m.NS.Owner(msg.Segid)
+		switch {
+		case !ok:
+			resp.Status = xproto.StatusNotFound
+		case m.NS.EnclaveDown(owner):
+			resp.Status = xproto.StatusEnclaveDown
+		default:
+			resp.Value = uint64(owner)
+		}
+		m.reply(a, resp)
+
+	case xproto.MsgShardSyncAlloc:
+		m.NS.SyncRegister(msg.Segid, xproto.EnclaveID(msg.Value))
+		m.ShardStats.SyncsApplied++
+
+	case xproto.MsgShardSyncPublish:
+		if err := m.NS.BindName(msg.Name, msg.Segid); err != nil {
+			m.Stats.DroppedMessages++
+		} else {
+			m.ShardStats.SyncsApplied++
+		}
+
+	case xproto.MsgShardSyncRemove:
+		m.NS.SyncRemove(msg.Segid)
+		m.ShardStats.SyncsApplied++
 
 	case xproto.MsgNameLookupReq:
 		resp := &xproto.Message{Type: xproto.MsgNameLookupResp, ReqID: msg.ReqID, Dst: msg.Src, Src: m.R.Self()}

@@ -116,7 +116,34 @@ type Attachment struct {
 	// covers; the detach notification carries it so the owner can release
 	// the matching pins.
 	offset uint64
+	// mirror holds the locally allocated frames of a cross-machine
+	// attachment (NIC.MirrorFrames); they return to the local zone on
+	// detach. Nil for same-machine attachments.
+	mirror extent.List
 }
+
+// NIC bridges an enclave module to a multi-machine interconnect
+// (internal/cluster installs one per module). Frame lists are only
+// mappable on the machine whose physical memory they index; when a
+// segment's owner lives on another machine, the attacher instead pulls
+// the bytes over the fabric into local frames — a one-time RDMA read,
+// the distributed extension of the paper's one-time attachment model.
+type NIC interface {
+	// Remote reports whether enclave owner's memory lives on another
+	// machine. Unknown enclaves are local (single-machine behaviour).
+	Remote(owner xproto.EnclaveID) bool
+	// MirrorFrames materializes the remote owner's frame list on this
+	// machine: it charges the fabric transfer and returns freshly
+	// allocated local frames holding a copy of the bytes. Only called
+	// when Remote(owner) is true.
+	MirrorFrames(a *sim.Actor, owner xproto.EnclaveID, list extent.List) (extent.List, error)
+	// FreeMirror returns a mirrored attachment's frames to the local
+	// zone at detach.
+	FreeMirror(list extent.List)
+}
+
+// SetNIC installs the interconnect bridge. Call before workload traffic.
+func (m *Module) SetNIC(nic NIC) { m.nic = nic }
 
 // grantKey identifies a grant received from a remote owner. Keyed by the
 // (segid, apid) pair, not the apid alone: apids are only unique per
@@ -190,7 +217,12 @@ type Module struct {
 
 	R  *router.Router
 	In *xproto.Inbox
-	NS *nameserver.NS // non-nil when this enclave hosts the name server
+	NS *nameserver.NS // non-nil when this enclave hosts a name service instance
+	// nsRoot marks the enclave hosting the root name server: the enclave-ID
+	// allocator and the service every Dst==NoEnclave message routes toward.
+	// In the flat deployment nsRoot == (NS != nil); under sharding, shard
+	// replicas host NS instances without being the root.
+	nsRoot bool
 
 	links        []xproto.Link
 	kernel       *sim.Actor
@@ -217,6 +249,18 @@ type Module struct {
 	// CheckAccess fast-path guard.
 	poisoned int
 
+	// nic, when non-nil, bridges this enclave to a multi-machine
+	// interconnect: attachments whose owner lives on another machine
+	// mirror the frames over the fabric instead of mapping them.
+	nic NIC
+	// shards, when non-nil, switches name resolution to the sharded
+	// protocol: segids and names resolve at their home shard replicas and
+	// resolved owners are cached under virtual-time leases.
+	shards *ShardMap
+	// leases is the attacher-side lookup cache: segid → (owner, expiry).
+	// Entries drop on expiry, on local Remove, and on owner-crash fanout.
+	leases map[xproto.Segid]lease
+
 	// frameCache memoizes serve-side walks per segment: repeat attaches of
 	// the same window reuse the frame list instead of re-walking the
 	// exporter's page tables. Entries are dropped when a remote attachment
@@ -225,6 +269,9 @@ type Module struct {
 	frameCache map[xproto.Segid]map[frameKey]frameEntry
 
 	Stats Stats
+	// ShardStats counts sharded name-service activity; always zero (and
+	// absent from snapshots) in flat worlds.
+	ShardStats ShardStats
 
 	// Trace, when non-nil, observes every message this module sends
 	// (after routing, before encoding). Tests use it to assert protocol
@@ -257,6 +304,7 @@ func New(name string, w *sim.World, costs *sim.Costs, os OS, hostNS bool) *Modul
 	}
 	if hostNS {
 		m.NS = nameserver.New()
+		m.nsRoot = true
 		m.R.SetSelf(xproto.NameServerID)
 	}
 	w.AddSnapshotComponent("mod/"+name, m.EncodeSnapshot)
@@ -474,6 +522,13 @@ func (m *Module) OnEnclaveDown(a *sim.Actor, dead xproto.EnclaveID) {
 	m.R.Forget(dead)
 	if m.NS != nil {
 		m.NS.MarkEnclaveDown(dead)
+	}
+	if m.shards != nil {
+		for segid, l := range m.leases {
+			if l.owner == dead {
+				delete(m.leases, segid)
+			}
+		}
 	}
 	m.failPending(a, func(p *pendingReq) bool { return p.dst == dead })
 	for _, att := range m.attachments {

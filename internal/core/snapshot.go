@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"xemem/internal/extent"
+	"xemem/internal/sim"
 	"xemem/internal/sim/snapshot"
 	"xemem/internal/xproto"
 )
@@ -45,6 +46,42 @@ func (m *Module) EncodeSnapshot(e *snapshot.Enc) {
 		m.NS.EncodeSnapshot(e)
 	} else {
 		e.Bool(false)
+	}
+
+	// Sharded name-service state, appended only when sharding is enabled
+	// so flat-world sections stay byte-identical to every pinned digest
+	// and repro bundle. It sits in the overlay prefix (directly after the
+	// name server) so a warm fork can restore lease caches and shard
+	// counters without decoding the verify-only remainder of the section.
+	if m.shards != nil {
+		e.U64(uint64(len(m.shards.Replicas)))
+		for _, reps := range m.shards.Replicas {
+			e.U64(uint64(len(reps)))
+			for _, id := range reps {
+				e.U64(uint64(id))
+			}
+		}
+		e.I64(int64(m.shards.LeaseTTL))
+		lsegs := make([]xproto.Segid, 0, len(m.leases))
+		for s := range m.leases {
+			lsegs = append(lsegs, s)
+		}
+		sort.Slice(lsegs, func(i, j int) bool { return lsegs[i] < lsegs[j] })
+		e.U64(uint64(len(lsegs)))
+		for _, s := range lsegs {
+			l := m.leases[s]
+			e.U64(uint64(s))
+			e.U64(uint64(l.owner))
+			e.I64(int64(l.expiry))
+		}
+		ss := &m.ShardStats
+		e.U64(uint64(ss.LeaseHits))
+		e.U64(uint64(ss.LeaseMisses))
+		e.U64(uint64(ss.LeaseStale))
+		e.U64(uint64(ss.ShardLookups))
+		e.U64(uint64(ss.ShardFailovers))
+		e.U64(uint64(ss.SyncsSent))
+		e.U64(uint64(ss.SyncsApplied))
 	}
 
 	// Router: learned routes by enclave ID (the link itself is a host
@@ -217,12 +254,13 @@ func encodeList(e *snapshot.Enc, l extent.List) {
 }
 
 // LoadSnapshotOverlay reads the module section's counter prefix — name,
-// identity, flags, request/apid cursors, stats, and (when both sides host
-// it) the full name-server state — and overlays it onto the module. It is
-// the warm-fork path: the rest of the section (segments, attachments,
+// identity, flags, request/apid cursors, stats, (when both sides host
+// it) the full name-server state, and (when both sides shard) the lease
+// cache and shard counters — and overlays it onto the module. It is the
+// warm-fork path: the rest of the section (segments, attachments,
 // caches) must already match by construction and is verified by byte
 // comparison, not reloaded. The decoder is left positioned after the
-// name-server field; callers discard it.
+// overlay prefix; callers discard it.
 func (m *Module) LoadSnapshotOverlay(d *snapshot.Dec) error {
 	corrupt := func(what string) error {
 		return fmt.Errorf("core: %s: %w", what, snapshot.ErrCorrupt)
@@ -258,6 +296,46 @@ func (m *Module) LoadSnapshotOverlay(d *snapshot.Dec) error {
 		if err := m.NS.LoadSnapshot(d); err != nil {
 			return err
 		}
+	}
+	// The shard tail is present exactly when the snapshotted module was
+	// sharded; the fork must have installed the same layout during its
+	// rebuild (cluster setup runs for real on the fork side) before the
+	// leases and counters can be overlaid onto it.
+	if m.shards != nil {
+		if n := int(d.U64()); d.Err() == nil && n != len(m.shards.Replicas) {
+			return corrupt(fmt.Sprintf("shard map has %d shards, fork installed %d", n, len(m.shards.Replicas)))
+		}
+		for k := range m.shards.Replicas {
+			if nr := int(d.U64()); d.Err() == nil && nr != len(m.shards.Replicas[k]) {
+				return corrupt(fmt.Sprintf("shard %d has %d replicas, fork installed %d", k, nr, len(m.shards.Replicas[k])))
+			}
+			for r, want := range m.shards.Replicas[k] {
+				if id := xproto.EnclaveID(d.U64()); d.Err() == nil && id != want {
+					return corrupt(fmt.Sprintf("shard %d replica %d hosted by enclave %d, fork placed %d", k, r, id, want))
+				}
+			}
+		}
+		if ttl := sim.Time(d.I64()); d.Err() == nil && ttl != m.shards.LeaseTTL {
+			return corrupt(fmt.Sprintf("lease TTL %v, fork configured %v", ttl, m.shards.LeaseTTL))
+		}
+		leases := make(map[xproto.Segid]lease)
+		for i, n := 0, int(d.U64()); i < n && d.Err() == nil; i++ {
+			s := xproto.Segid(d.U64())
+			leases[s] = lease{owner: xproto.EnclaveID(d.U64()), expiry: sim.Time(d.I64())}
+		}
+		var ss ShardStats
+		ss.LeaseHits = int(d.U64())
+		ss.LeaseMisses = int(d.U64())
+		ss.LeaseStale = int(d.U64())
+		ss.ShardLookups = int(d.U64())
+		ss.ShardFailovers = int(d.U64())
+		ss.SyncsSent = int(d.U64())
+		ss.SyncsApplied = int(d.U64())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		m.leases = leases
+		m.ShardStats = ss
 	}
 	return nil
 }

@@ -2,7 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
+
+	"xemem/internal/experiments/sweep"
+	"xemem/internal/sim"
+	"xemem/internal/sim/snapshot"
 )
 
 // TestSnapshotFork is the fork-identity contract behind the snapshot
@@ -49,4 +54,73 @@ func TestSnapshotFork(t *testing.T) {
 			}
 		})
 	}
+
+	// The cluster tier: a warmed 2-node sharded world — populated lease
+	// cache, non-zero shard counters, fabric-written memory — forked
+	// through sweep.FromSnapshot exactly as a production sweep would,
+	// must be indistinguishable from re-bootstrapping the prefix.
+	t.Run("cluster", func(t *testing.T) {
+		p := clusterPrefixParams{Nodes: 2, Shards: 1}
+		ph, err := clusterSnapshot(7, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ph.w.SnapshotImage().WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		enc := buf.Bytes()
+
+		tails := []int{8, 12}
+		boots := make([]clusterOutcome, len(tails))
+		for i, rounds := range tails {
+			bp := ph
+			if i > 0 {
+				if bp, err = clusterSnapshot(7, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if boots[i], err = bp.runSuffix(rounds); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// The decoded image is the shared bootstrap artifact; each fork
+		// cell forks its own world from it, the sweep.FromSnapshot shape
+		// the snapshot-forked sweeps use in production. Two workers prove
+		// the forked worlds are independent.
+		prep := func() (*snapshot.Image, error) { return sim.Restore(bytes.NewReader(enc)) }
+		forkCells := make([]sweep.SnapCell[*snapshot.Image, clusterOutcome], len(tails))
+		for i, rounds := range tails {
+			rounds := rounds
+			forkCells[i] = sweep.SnapCell[*snapshot.Image, clusterOutcome]{
+				Label: fmt.Sprintf("cluster fork rounds=%d", rounds),
+				Run: func(img *snapshot.Image) (clusterOutcome, error) {
+					fk, err := clusterFork(img)
+					if err != nil {
+						return clusterOutcome{}, err
+					}
+					// The warmed state really crossed the image: the fork
+					// starts with the prefix's lease-cache hit already on
+					// the consumer module's counters.
+					if hits := fk.cl.Nodes[0].X.LinuxModule().ShardStats.LeaseHits; hits == 0 {
+						return clusterOutcome{}, fmt.Errorf("forked consumer module has no lease hits — shard tail not overlaid")
+					}
+					return fk.runSuffix(rounds)
+				},
+			}
+		}
+		forks, err := sweep.Run(sweep.FromSnapshot(prep, forkCells), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tails {
+			if boots[i] != forks[i] {
+				t.Fatalf("cluster outcomes diverge at rounds=%d:\n boot %+v\n fork %+v", tails[i], boots[i], forks[i])
+			}
+			if boots[i].LeaseHits == 0 || boots[i].Successes != tails[i] {
+				t.Fatalf("cluster suffix did no sharded work: %+v", boots[i])
+			}
+		}
+	})
 }

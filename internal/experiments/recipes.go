@@ -138,6 +138,19 @@ var recipes = map[string]recipeFn{
 		_, err := faultRun(obs, seed, p.Drop, p.Crash, p.Rounds)
 		return err
 	},
+	"cluster": func(params json.RawMessage, seed uint64, obs observeFn) error {
+		p := struct {
+			Nodes  int  `json:"nodes"`
+			Shards int  `json:"shards"`
+			Churn  bool `json:"churn"`
+			Rounds int  `json:"rounds"`
+		}{Nodes: 4, Shards: 2, Rounds: 24}
+		if err := decodeParams(params, &p); err != nil {
+			return err
+		}
+		_, err := clusterRun(obs, seed, p.Nodes, p.Shards, p.Churn, p.Rounds, 0)
+		return err
+	},
 }
 
 // RecipeNames lists the registered recipe names, sorted, for usage text.

@@ -24,8 +24,10 @@ import (
 )
 
 // roundtripCases drives every registered recipe with parameters reduced
-// for test runtime; together they cover each figure world plus a fault
-// world with message loss and a mid-run enclave crash.
+// for test runtime; together they cover each figure world, a fault world
+// with message loss and a mid-run enclave crash, and a sharded cluster
+// world whose mid-run cuts serialize live lease caches and shard
+// counters.
 var roundtripCases = []struct {
 	recipe string
 	params string
@@ -37,6 +39,7 @@ var roundtripCases = []struct {
 	{"fig9", ``},
 	{"table2", `{"pairing":"vm-to-kitten","reps":2}`},
 	{"fault", `{"drop":0.05,"crash":true,"rounds":10}`},
+	{"cluster", `{"nodes":2,"shards":1,"churn":false,"rounds":6}`},
 }
 
 const roundtripSeed = 11

@@ -22,8 +22,13 @@ import (
 type NS struct {
 	nextEnclave xproto.EnclaveID
 	nextSegid   xproto.Segid
-	owners      map[xproto.Segid]xproto.EnclaveID
-	names       map[string]xproto.Segid
+	// allocStep is the segid allocation stride: 1 for the flat deployment,
+	// the shard count for a shard replica (ConfigureShard), so every shard
+	// allocates within its own residue class and a segid's home shard is
+	// computable locally (ShardOf) without a directory.
+	allocStep xproto.Segid
+	owners    map[xproto.Segid]xproto.EnclaveID
+	names     map[string]xproto.Segid
 	// nameOf is the reverse index of names, so retiring a segid drops its
 	// bindings without scanning the whole registry. A segid can carry
 	// several names (publish is idempotent per name, first-come).
@@ -50,10 +55,45 @@ func New() *NS {
 	return &NS{
 		nextEnclave: xproto.NameServerID + 1,
 		nextSegid:   0x1000,
+		allocStep:   1,
 		owners:      make(map[xproto.Segid]xproto.EnclaveID),
 		names:       make(map[string]xproto.Segid),
 		nameOf:      make(map[xproto.Segid][]string),
 	}
+}
+
+// ConfigureShard turns this instance into shard k of n: segid allocation
+// starts at 0x1000·n+k and strides by n, so every segid this shard hands
+// out satisfies ShardOf(segid, n) == k. Call it once, before the first
+// allocation; a warm-fork overlay re-applies it before LoadSnapshot
+// restores the cursor (the stride is configuration, not snapshot state).
+func (ns *NS) ConfigureShard(k, n int) {
+	if n <= 0 || k < 0 || k >= n {
+		panic(fmt.Sprintf("nameserver: shard %d of %d", k, n))
+	}
+	ns.allocStep = xproto.Segid(n)
+	ns.nextSegid = xproto.Segid(0x1000*n + k)
+}
+
+// ShardOf reports the home shard of a segid under n-way residue-class
+// partitioning.
+func ShardOf(s xproto.Segid, n int) int { return int(uint64(s) % uint64(n)) }
+
+// ShardOfName reports the home shard of a published name: an FNV-1a hash
+// of the name, reduced mod n. Names and segids generally live on
+// different shards — a name binding resolves to a segid whose
+// registration then resolves at the segid's own home shard.
+func ShardOfName(name string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
 }
 
 // AllocEnclaveID hands out the next enclave ID.
@@ -71,10 +111,46 @@ func (ns *NS) AllocSegid(owner xproto.EnclaveID) (xproto.Segid, error) {
 		return xproto.NoSegid, fmt.Errorf("nameserver: segid requested by unidentified enclave")
 	}
 	s := ns.nextSegid
-	ns.nextSegid++
+	ns.nextSegid += ns.allocStep
 	ns.owners[s] = owner
 	ns.SegidAllocs++
 	return s, nil
+}
+
+// SyncRegister installs a segid registration replicated from another
+// shard replica (MsgShardSyncAlloc). Unlike AllocSegid it does not touch
+// the allocation cursor — the primary allocated; the backup records.
+func (ns *NS) SyncRegister(s xproto.Segid, owner xproto.EnclaveID) {
+	ns.owners[s] = owner
+}
+
+// SyncRemove retires a segid replicated from another shard replica
+// (MsgShardSyncRemove): no ownership check — the primary validated.
+func (ns *NS) SyncRemove(s xproto.Segid) {
+	delete(ns.owners, s)
+	for _, name := range ns.nameOf[s] {
+		delete(ns.names, name)
+	}
+	delete(ns.nameOf, s)
+}
+
+// BindName binds a name to a segid without validating the registration:
+// under sharding, a name's home shard is generally not the segid's home
+// shard, so the binding shard cannot see the registration. First-come
+// single-writer, like Publish.
+func (ns *NS) BindName(name string, s xproto.Segid) error {
+	if name == "" {
+		return fmt.Errorf("nameserver: empty name")
+	}
+	if bound, taken := ns.names[name]; taken {
+		if bound != s {
+			return fmt.Errorf("nameserver: name %q already bound to segid %d", name, bound)
+		}
+		return nil
+	}
+	ns.names[name] = s
+	ns.nameOf[s] = append(ns.nameOf[s], name)
+	return nil
 }
 
 // Owner reports the enclave owning segid.

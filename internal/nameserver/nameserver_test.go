@@ -1,9 +1,11 @@
 package nameserver
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
+	"xemem/internal/sim/snapshot"
 	"xemem/internal/xproto"
 )
 
@@ -120,5 +122,185 @@ func TestSegidUniquenessProperty(t *testing.T) {
 	}, &quick.Config{MaxCount: 100})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The shard residue-class contract: shard k of n allocates only segids
+// homing to k under ShardOf, cursors stride so replicas sub-striping a
+// class can never collide, and names hash to shards deterministically.
+func TestConfigureShardResidueClasses(t *testing.T) {
+	const n = 4
+	seen := map[xproto.Segid]bool{}
+	for k := 0; k < n; k++ {
+		ns := New()
+		ns.ConfigureShard(k, n)
+		for i := 0; i < 8; i++ {
+			s, err := ns.AllocSegid(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ShardOf(s, n) != k {
+				t.Fatalf("shard %d allocated segid %d homing to shard %d", k, s, ShardOf(s, n))
+			}
+			if seen[s] {
+				t.Fatalf("segid %d allocated by two shards", s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestConfigureShardRejectsBadLayout(t *testing.T) {
+	for _, kn := range [][2]int{{0, 0}, {-1, 2}, {2, 2}} {
+		kn := kn
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ConfigureShard(%d, %d) accepted", kn[0], kn[1])
+				}
+			}()
+			New().ConfigureShard(kn[0], kn[1])
+		}()
+	}
+}
+
+func TestShardOfNameStableAndInRange(t *testing.T) {
+	const n = 5
+	for _, name := range []string{"", "a", "sim-output", "warm-seg", "x/y/z"} {
+		k := ShardOfName(name, n)
+		if k < 0 || k >= n {
+			t.Fatalf("ShardOfName(%q, %d) = %d", name, n, k)
+		}
+		if ShardOfName(name, n) != k {
+			t.Fatalf("ShardOfName(%q) unstable", name)
+		}
+	}
+	// The hash actually spreads: not every name on one shard.
+	shards := map[int]bool{}
+	for _, name := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		shards[ShardOfName(name, n)] = true
+	}
+	if len(shards) < 2 {
+		t.Fatal("ShardOfName maps every probe name to one shard")
+	}
+}
+
+// Replication entry points: a backup records what the primary decided,
+// without touching its own cursor or validating ownership.
+func TestSyncRegisterAndRemove(t *testing.T) {
+	ns := New()
+	ns.ConfigureShard(1, 2)
+	before := ns.nextSegid
+	ns.SyncRegister(0x2000, 7)
+	if ns.nextSegid != before {
+		t.Fatal("SyncRegister moved the allocation cursor")
+	}
+	if owner, ok := ns.Owner(0x2000); !ok || owner != 7 {
+		t.Fatalf("synced owner = %d %v", owner, ok)
+	}
+	if err := ns.BindName("synced", 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	ns.SyncRemove(0x2000)
+	if _, ok := ns.Owner(0x2000); ok {
+		t.Fatal("synced removal kept the registration")
+	}
+	if _, ok := ns.Lookup("synced"); ok {
+		t.Fatal("synced removal kept the name binding")
+	}
+}
+
+// BindName is Publish without the ownership check (the binding shard
+// cannot see a foreign shard's registration), but keeps first-come
+// single-writer semantics.
+func TestBindName(t *testing.T) {
+	ns := New()
+	if err := ns.BindName("", 0x2000); err == nil {
+		t.Fatal("empty name bound")
+	}
+	if err := ns.BindName("n", 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.BindName("n", 0x2000); err != nil {
+		t.Fatalf("idempotent rebind rejected: %v", err)
+	}
+	if err := ns.BindName("n", 0x3000); err == nil {
+		t.Fatal("name stolen across segids")
+	}
+	if s, ok := ns.Lookup("n"); !ok || s != 0x2000 {
+		t.Fatalf("lookup = %d %v", s, ok)
+	}
+}
+
+func TestMarkEnclaveDownKeepsRegistrations(t *testing.T) {
+	ns := New()
+	s, _ := ns.AllocSegid(4)
+	ns.MarkEnclaveDown(4)
+	ns.MarkEnclaveDown(4) // idempotent
+	ns.MarkEnclaveDown(xproto.NoEnclave)
+	if !ns.EnclaveDown(4) || ns.EnclaveDown(5) {
+		t.Fatal("down set wrong")
+	}
+	if ns.EnclavesDowned != 1 {
+		t.Fatalf("EnclavesDowned = %d", ns.EnclavesDowned)
+	}
+	if _, ok := ns.Owner(s); !ok {
+		t.Fatal("crash dropped the dead owner's registration")
+	}
+}
+
+// Snapshot round-trip: encode → load into a fresh instance → re-encode
+// must be byte-identical, and the loaded instance must keep allocating
+// where the original left off.
+func TestSnapshotRoundTrip(t *testing.T) {
+	ns := New()
+	ns.AllocEnclaveID()
+	s, _ := ns.AllocSegid(2)
+	ns.Publish("a", s, 2)
+	s2, _ := ns.AllocSegid(3)
+	ns.BindName("b", s2)
+	ns.Lookup("a")
+	ns.MarkEnclaveDown(3)
+
+	var e snapshot.Enc
+	ns.EncodeSnapshot(&e)
+
+	fresh := New()
+	if err := fresh.LoadSnapshot(snapshot.NewDec(e.Data())); err != nil {
+		t.Fatal(err)
+	}
+	var e2 snapshot.Enc
+	fresh.EncodeSnapshot(&e2)
+	if !bytes.Equal(e.Data(), e2.Data()) {
+		t.Fatal("snapshot round-trip not byte-identical")
+	}
+	if got, ok := fresh.Lookup("b"); !ok || got != s2 {
+		t.Fatalf("restored lookup = %d %v", got, ok)
+	}
+	if !fresh.EnclaveDown(3) {
+		t.Fatal("restored instance lost the down set")
+	}
+	a, b := ns.AllocSegid(2)
+	c, d := fresh.AllocSegid(2)
+	if b != nil || d != nil || a != c {
+		t.Fatalf("cursors diverge after restore: %d vs %d", a, c)
+	}
+	// Removing a restored binding must also drop the rebuilt reverse
+	// index entry.
+	if err := fresh.RemoveSegid(s, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Lookup("a"); ok {
+		t.Fatal("restored nameOf index did not drop the binding")
+	}
+}
+
+func TestLoadSnapshotTruncated(t *testing.T) {
+	ns := New()
+	ns.AllocSegid(2)
+	var e snapshot.Enc
+	ns.EncodeSnapshot(&e)
+	if err := New().LoadSnapshot(snapshot.NewDec(e.Data()[:3])); err == nil {
+		t.Fatal("truncated section loaded")
 	}
 }

@@ -63,3 +63,65 @@ func (v *VF) BandwidthTest(a *sim.Actor, size, reps int) (float64, error) {
 	}
 	return sim.PerSecond(float64(size)*float64(reps), a.Now()-start), nil
 }
+
+// Fabric is a cluster-scale wire topology: one HCA per node (the egress
+// wire, modeled as that node's Device) plus a per-node ingress port on
+// the switch, joined by a cut-through switch hop. Unlike the single
+// shared Device of the bandwidth test, transfers between disjoint node
+// pairs proceed concurrently — only a shared endpoint serializes them,
+// which is exactly the contention a multi-node sweep needs to observe.
+type Fabric struct {
+	c       *sim.Costs
+	egress  []*Device
+	ingress []*sim.Resource
+}
+
+// NewFabric builds a fabric of nodes HCAs around one switch.
+func NewFabric(name string, costs *sim.Costs, nodes int) *Fabric {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("rdma: fabric with %d nodes", nodes))
+	}
+	f := &Fabric{c: costs}
+	for i := 0; i < nodes; i++ {
+		f.egress = append(f.egress, NewDevice(fmt.Sprintf("%s/node%d", name, i), costs))
+		f.ingress = append(f.ingress, sim.NewResource(fmt.Sprintf("ib-in:%s/node%d", name, i)))
+	}
+	return f
+}
+
+// Nodes reports the number of node ports on the fabric.
+func (f *Fabric) Nodes() int { return len(f.egress) }
+
+// Device returns node i's HCA, for callers that want VF semantics on a
+// fabric port.
+func (f *Fabric) Device(i int) *Device { return f.egress[i] }
+
+// wireTime is the occupancy one n-byte transfer imposes on each wire it
+// crosses: per-MTU initiation plus serialization at the link bandwidth.
+func (f *Fabric) wireTime(n int) sim.Time {
+	msgs := (n + f.c.RDMAMTU - 1) / f.c.RDMAMTU
+	return sim.Time(msgs)*f.c.RDMAMsgOverhead + sim.CopyTime(n, f.c.RDMABandwidth)
+}
+
+// Transfer moves n bytes from node src to node dst: source HCA egress,
+// switch hop, destination ingress port. The acting actor occupies each
+// stage in order, so a hot destination backs up senders at its ingress
+// port while disjoint pairs stream in parallel. Queue-pair setup is the
+// channel's one-time cost, not per-transfer — cluster links charge
+// RDMASetup at connect time, not here.
+func (f *Fabric) Transfer(a *sim.Actor, src, dst, n int) error {
+	if src < 0 || src >= len(f.egress) || dst < 0 || dst >= len(f.egress) {
+		return fmt.Errorf("rdma: transfer %d->%d on a %d-node fabric", src, dst, len(f.egress))
+	}
+	if n <= 0 {
+		return fmt.Errorf("rdma: transfer of %d bytes", n)
+	}
+	if src == dst {
+		return fmt.Errorf("rdma: loopback transfer on node %d", src)
+	}
+	wt := f.wireTime(n)
+	f.egress[src].wire.AcquireOp(a, wt, "rdma-egress")
+	a.Charge("rdma-switch", f.c.RDMASwitchLatency)
+	f.ingress[dst].AcquireOp(a, wt, "rdma-ingress")
+	return nil
+}

@@ -67,6 +67,14 @@ func (r *Router) Forget(id xproto.EnclaveID) {
 	delete(r.routes, id)
 }
 
+// Knows reports whether a direct route for id has been learned. The
+// cluster builder uses it to pre-seed only the mesh routes passive
+// learning has not already established.
+func (r *Router) Knows(id xproto.EnclaveID) bool {
+	_, ok := r.routes[id]
+	return ok
+}
+
 // Route resolves the outgoing link for dst: the learned route if any,
 // otherwise the default route toward the name server. ok is false when
 // neither exists (at the name server for an unknown enclave — an

@@ -121,3 +121,49 @@ func TestRouteTableRenders(t *testing.T) {
 		t.Fatal("empty route table string")
 	}
 }
+
+// The cluster builder's accessors: Self/NSLink expose bootstrap results,
+// Knows distinguishes learned mesh routes from the NS fallback, and
+// PendingHops lists outstanding hop-routed requests sorted for the
+// snapshot encoder.
+func TestAccessorsAndPendingHops(t *testing.T) {
+	r := New()
+	if r.Self() != xproto.NoEnclave {
+		t.Fatalf("Self before bootstrap = %d", r.Self())
+	}
+	if r.NSLink() != nil {
+		t.Fatal("NSLink before bootstrap")
+	}
+	r.SetSelf(3)
+	up := stubLink("up")
+	r.SetNSLink(up)
+	if r.Self() != 3 || r.NSLink() != up {
+		t.Fatalf("accessors = %v %v", r.Self(), r.NSLink())
+	}
+
+	r.Learn(7, stubLink("mesh"))
+	if !r.Knows(7) || r.Knows(8) {
+		t.Fatal("Knows disagrees with the learned routes")
+	}
+	r.Forget(7)
+	if r.Knows(7) {
+		t.Fatal("Knows survives Forget")
+	}
+
+	if got := r.PendingHops(); len(got) != 0 {
+		t.Fatalf("pending hops on a fresh router: %v", got)
+	}
+	for _, id := range []uint64{9, 4, 6} {
+		if err := r.TrackHop(id, up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.PendingHops()
+	if len(got) != 3 || got[0] != 4 || got[1] != 6 || got[2] != 9 {
+		t.Fatalf("PendingHops = %v, want sorted [4 6 9]", got)
+	}
+	r.TakeHop(6)
+	if got := r.PendingHops(); len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("PendingHops after take = %v", got)
+	}
+}

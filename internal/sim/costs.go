@@ -161,6 +161,19 @@ type Costs struct {
 	// RDMAMTU is the transfer unit of the bandwidth test in bytes.
 	RDMAMTU int
 
+	// RDMASwitchLatency is the per-hop latency of the InfiniBand switch a
+	// multi-node fabric routes through (port-to-port cut-through delay).
+	// Single-device worlds (the §5.2 back-to-back bandwidth test) never
+	// charge it; cluster worlds pay it once per cross-node transfer.
+	RDMASwitchLatency Time
+
+	// --- Sharded name service (cluster tier) ------------------------------
+
+	// LeaseCheck is the attacher-side cost of consulting its lease cache
+	// on a name-service resolution: a hash probe plus a virtual-time
+	// expiry comparison. Paid on every sharded lookup, hit or miss.
+	LeaseCheck Time
+
 	// --- XEMEM serve path (§5.5) -------------------------------------------
 
 	// ServeFixed is the fixed cost on the exporting enclave's core to
@@ -204,10 +217,13 @@ func DefaultCosts() *Costs {
 
 		Syscall: 300 * Nanosecond,
 
-		RDMABandwidth:   3.88e9,
-		RDMAMsgOverhead: 150 * Nanosecond,
-		RDMASetup:       40 * Microsecond,
-		RDMAMTU:         4096,
+		RDMABandwidth:     3.88e9,
+		RDMAMsgOverhead:   150 * Nanosecond,
+		RDMASetup:         40 * Microsecond,
+		RDMAMTU:           4096,
+		RDMASwitchLatency: 100 * Nanosecond,
+
+		LeaseCheck: 30 * Nanosecond,
 
 		ServeFixed: 11 * Microsecond,
 	}

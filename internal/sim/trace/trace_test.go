@@ -270,3 +270,150 @@ func TestQueueWaitMetrics(t *testing.T) {
 		t.Fatalf("queue metrics = %+v", m)
 	}
 }
+
+// faultScenario runs one actor that emits fault-prefixed and plain
+// counters through the observer, the way the fault injector and the
+// sharded name service attribute events into the digest.
+func faultScenario(obs sim.Observer) {
+	w := sim.NewWorld(1)
+	if obs != nil {
+		w.SetObserver(obs)
+	}
+	w.Spawn("victim", func(a *sim.Actor) {
+		a.Charge("work", 100*sim.Nanosecond)
+		if o := a.Observer(); o != nil {
+			o.Count("fault-drop:msg", a, 50*sim.Nanosecond)
+			o.Count("fault-drop:msg", a, 0)
+			o.Count("fault-crash", a, 0)
+			o.Count("shard-lease-hit", a, 0)
+		}
+	})
+	if err := w.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func TestFaultCountersSortedAndPrefixed(t *testing.T) {
+	tr := NewTracer("faults")
+	faultScenario(tr)
+	fs := tr.Faults()
+	if len(fs) != 2 {
+		t.Fatalf("Faults() = %v, want the two fault- labels", fs)
+	}
+	if fs[0].Name != "fault-crash" || fs[1].Name != "fault-drop:msg" {
+		t.Fatalf("fault counters out of lexical order: %v", fs)
+	}
+	if fs[1].Count != 2 || fs[1].Time != 50*sim.Nanosecond {
+		t.Fatalf("fault-drop stat = %+v", fs[1])
+	}
+	if tr.Counter("shard-lease-hit") != 0 || tr.Digest().Counts != 4 {
+		t.Fatalf("non-fault counter mishandled: digest %+v", tr.Digest())
+	}
+	if clean := NewTracer("clean"); clean.Faults() != nil {
+		t.Fatal("fault counters on a clean tracer")
+	}
+}
+
+func TestFinalTimeAndDispatches(t *testing.T) {
+	tr := NewTracer("run")
+	scenario(7, tr)
+	if tr.FinalTime() == 0 || int64(tr.FinalTime()) != tr.Digest().FinalNs {
+		t.Fatalf("FinalTime = %v, digest %+v", tr.FinalTime(), tr.Digest())
+	}
+	if tr.Dispatches() == 0 || tr.Dispatches() != tr.Digest().Dispatches {
+		t.Fatalf("Dispatches = %d, digest %+v", tr.Dispatches(), tr.Digest())
+	}
+}
+
+// The watermark round-trip behind snapshot forks: a fresh tracer
+// restored from a watermark reports the same digest, and continuing
+// both tracers over the same suffix keeps them identical.
+func TestWatermarkRoundTrip(t *testing.T) {
+	orig := NewTracer("wm")
+	scenario(7, orig)
+	wm := orig.SnapshotWatermark()
+
+	forked := NewTracer("wm")
+	forked.SetKeepEvents(false)
+	if err := forked.RestoreWatermark(wm); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Digest() != forked.Digest() {
+		t.Fatalf("restored digest diverges:\n%+v\n%+v", orig.Digest(), forked.Digest())
+	}
+	scenario(9, orig)
+	scenario(9, forked)
+	if orig.Digest() != forked.Digest() {
+		t.Fatalf("continued digests diverge:\n%+v\n%+v", orig.Digest(), forked.Digest())
+	}
+}
+
+func TestWatermarkRejectsCorrupt(t *testing.T) {
+	orig := NewTracer("wm")
+	scenario(7, orig)
+	wm := orig.SnapshotWatermark()
+
+	fresh := NewTracer("wm")
+	before := fresh.Digest()
+	if err := fresh.RestoreWatermark(wm[:5]); err == nil {
+		t.Fatal("truncated watermark restored")
+	}
+	if err := fresh.RestoreWatermark(append(append([]byte{}, wm...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if fresh.Digest() != before {
+		t.Fatal("failed restore modified the tracer")
+	}
+}
+
+// Set-level plumbing the experiment runners use: Hook/CellHook install
+// tracers per labelled world, Digests lists them in lane order, and
+// SetKeepEvents governs retention for tracers created afterwards.
+func TestSetHooksAndDigests(t *testing.T) {
+	s := NewSet()
+	s.SetKeepEvents(false)
+	cellHook := s.CellHook()
+	w1 := sim.NewWorld(3)
+	cellHook(1, "cell1", w1)
+	hook := s.Hook()
+	w0 := sim.NewWorld(3)
+	hook("auto", w0) // auto-assigned cell 2: after the explicit cell 1
+	for _, w := range []*sim.World{w0, w1} {
+		w.Spawn("a", func(a *sim.Actor) { a.Charge("op", 10*sim.Nanosecond) })
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := s.Digests()
+	if len(ds) != 2 || ds[0].Label != "cell1" || ds[1].Label != "auto" {
+		t.Fatalf("Digests() = %+v", ds)
+	}
+	if ds[0].SHA256 != ds[1].SHA256 {
+		t.Fatal("identical worlds hashed differently across lanes")
+	}
+	if s.Get("cell1").Events() != nil {
+		t.Fatal("SetKeepEvents(false) did not propagate to hook-created tracers")
+	}
+}
+
+func TestTracerMetricsJSONAndSummary(t *testing.T) {
+	tr := NewTracer("prof")
+	scenario(7, tr)
+	var buf bytes.Buffer
+	if err := tr.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("tracer metrics JSON invalid: %v", err)
+	}
+	if m["label"] != "prof" {
+		t.Fatalf("metrics label = %v", m["label"])
+	}
+	sum := tr.Summary()
+	for _, want := range []string{"prof:", "compute", "core0", "dispatches"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

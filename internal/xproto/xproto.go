@@ -77,6 +77,16 @@ const (
 	MsgAttachReq     // xpmem_attach: request the owner's page-frame list
 	MsgAttachResp    // carries the frame list back to the attacher
 	MsgDetachNotify  // xpmem_detach: drop the owner-side attachment record
+
+	// Sharded name service (cluster tier). Shard-lookup resolves a segid
+	// or name to its owning enclave at the responsible shard replica;
+	// shard-sync is the primary→backup replication stream for the three
+	// mutating operations.
+	MsgShardLookupReq
+	MsgShardLookupResp
+	MsgShardSyncAlloc   // replicate a segid registration (owner in Value)
+	MsgShardSyncPublish // replicate a name binding (name → Segid)
+	MsgShardSyncRemove  // replicate a segid retirement
 )
 
 var msgNames = map[MsgType]string{
@@ -88,6 +98,9 @@ var msgNames = map[MsgType]string{
 	MsgNameLookupReq:   "name-lookup-req", MsgNameLookupResp: "name-lookup-resp",
 	MsgGetReq: "get-req", MsgGetResp: "get-resp", MsgReleaseNotify: "release",
 	MsgAttachReq: "attach-req", MsgAttachResp: "attach-resp", MsgDetachNotify: "detach",
+	MsgShardLookupReq: "shard-lookup-req", MsgShardLookupResp: "shard-lookup-resp",
+	MsgShardSyncAlloc: "shard-sync-alloc", MsgShardSyncPublish: "shard-sync-publish",
+	MsgShardSyncRemove: "shard-sync-remove",
 }
 
 func (t MsgType) String() string {
@@ -100,7 +113,7 @@ func (t MsgType) String() string {
 // IsResponse reports whether the type is a response to a tracked request.
 func (t MsgType) IsResponse() bool {
 	switch t {
-	case MsgPongNS, MsgEnclaveIDResp, MsgSegidAllocResp, MsgNamePublishResp, MsgNameLookupResp, MsgGetResp, MsgAttachResp:
+	case MsgPongNS, MsgEnclaveIDResp, MsgSegidAllocResp, MsgNamePublishResp, MsgNameLookupResp, MsgGetResp, MsgAttachResp, MsgShardLookupResp:
 		return true
 	}
 	return false

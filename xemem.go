@@ -54,6 +54,11 @@ type NodeConfig struct {
 	// handling on the management enclave (§5.3 future work). Default 1:
 	// the measured Pisces behaviour, everything on core 0.
 	KernelWorkers int
+	// NoNameServer creates the management enclave without the root name
+	// server. Cluster member nodes beyond the first set this and
+	// bootstrap onto the first node's name service over the interconnect
+	// (internal/cluster wires the channels before the world runs).
+	NoNameServer bool
 }
 
 // Node is one simulated machine: a Linux management enclave hosting the
@@ -97,7 +102,7 @@ func NewNodeInWorld(w *sim.World, costs *sim.Costs, cfg NodeConfig) *Node {
 	pm := mem.NewPhysMem(name, memBytes)
 	w.AddSnapshotComponent("phys/"+name, pm.EncodeSnapshot)
 	linux := linuxos.New(name+"/linux", w, costs, pm.Zone(0), proc.HostDomain{Mem: pm}, cores)
-	lmod := core.New(name+"/linux", w, costs, linux, true)
+	lmod := core.New(name+"/linux", w, costs, linux, !cfg.NoNameServer)
 	if cfg.KernelWorkers > 1 {
 		lmod.SetKernelWorkers(cfg.KernelWorkers)
 	}
