@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The result cache makes xemem-vet cheap enough for the inner loop.
+// One entry per package, keyed by a content hash that covers the
+// package's own sources, the analyzer suite (names + versions), the Go
+// toolchain, and — transitively — the keys of every module-internal
+// import. Editing one file therefore invalidates exactly that package
+// and its import-graph dependents; everything else replays its recorded
+// diagnostics and facts without being re-parsed or re-type-checked.
+// When every package hits, the driver skips loading the module
+// entirely — type-checking (the source importer in particular) is the
+// dominant cost — and module-level conclusions (chargecheck's
+// dead-constant sweep, snapshotcheck's coverage verdict) are recomputed
+// from the cached facts, which is what makes caching them sound.
+//
+// Entries live under a git-ignored directory (.vetcache/ at the module
+// root by default) as plain JSON: inspectable, relocatable (positions
+// are root-relative), and safe to delete at any time.
+
+const cacheSchema = 1
+
+// Options configures a cached driver run.
+type Options struct {
+	// CacheDir overrides the cache location (default <root>/.vetcache).
+	CacheDir string
+	// NoCache bypasses the cache entirely: no reads, no writes.
+	NoCache bool
+}
+
+// cacheEntry is one package's persisted analysis product.
+type cacheEntry struct {
+	Schema int       `json:"schema"`
+	Key    string    `json:"key"`
+	Result pkgResult `json:"result"`
+}
+
+// scanPkg is the cheap pre-load view of one package: enough to compute
+// its cache key without parsing function bodies or type-checking.
+type scanPkg struct {
+	path    string
+	dir     string
+	hash    string   // content hash over the package's source files
+	imports []string // module-internal imports
+	key     string   // transitive cache key (filled by computeKeys)
+}
+
+// RunCached executes the analyzer suite over the module at root,
+// reusing per-package cached results where source content and
+// dependencies are unchanged, and returns the surviving diagnostics
+// plus run statistics.
+func RunCached(root string, analyzers []*Analyzer, opts Options) ([]Diagnostic, *Stats, error) {
+	start := time.Now() //xemem:wallclock -- driver self-timing for `make vet`, never simulation state
+	stats := &Stats{}
+	finish := func(diags []Diagnostic) []Diagnostic {
+		stats.TotalNs = int64(time.Since(start)) //xemem:wallclock -- driver self-timing
+		return diags
+	}
+
+	if opts.NoCache {
+		m, err := loadTimed(root, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		results := runPackages(m, analyzers, nil, stats)
+		stats.Packages = len(m.Pkgs)
+		for _, pkg := range m.Pkgs {
+			stats.Analyzed = append(stats.Analyzed, pkg.Path)
+		}
+		return finish(assemble(analyzers, results)), stats, nil
+	}
+
+	scan, err := scanModule(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	computeKeys(scan, suiteSignature(analyzers))
+	stats.Packages = len(scan)
+
+	cacheDir := opts.CacheDir
+	if cacheDir == "" {
+		cacheDir = filepath.Join(root, ".vetcache")
+	}
+
+	cached := make(map[string]*pkgResult)
+	miss := make(map[string]bool)
+	for _, p := range scan {
+		if entry := readEntry(cacheDir, p); entry != nil {
+			cached[p.path] = &entry.Result
+			stats.CacheHits++
+		} else {
+			miss[p.path] = true
+			stats.Analyzed = append(stats.Analyzed, p.path)
+		}
+	}
+	sort.Strings(stats.Analyzed)
+
+	if len(miss) == 0 {
+		// Fully warm: assemble from cache without loading the module.
+		results := make([]*pkgResult, 0, len(scan))
+		for _, p := range scan {
+			results = append(results, cached[p.path])
+		}
+		return finish(assemble(analyzers, results)), stats, nil
+	}
+
+	m, err := loadTimed(root, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := runPackages(m, analyzers, miss, stats)
+	byPath := make(map[string]*scanPkg, len(scan))
+	for _, p := range scan {
+		byPath[p.path] = p
+	}
+	for i, pkg := range m.Pkgs {
+		if results[i] == nil {
+			results[i] = cached[pkg.Path]
+			continue
+		}
+		if p := byPath[pkg.Path]; p != nil {
+			writeEntry(cacheDir, p, results[i])
+		}
+	}
+	return finish(assemble(analyzers, results)), stats, nil
+}
+
+// loadTimed loads the module and builds its summaries, recording the
+// wall-clock under stats.LoadNs.
+func loadTimed(root string, stats *Stats) (*Module, error) {
+	start := time.Now() //xemem:wallclock -- driver self-timing
+	m, err := Load(root)
+	if err != nil {
+		return nil, err
+	}
+	m.Summaries()
+	stats.LoadNs = int64(time.Since(start)) //xemem:wallclock -- driver self-timing
+	return m, nil
+}
+
+// suiteSignature fingerprints the analyzer suite for cache keys.
+func suiteSignature(analyzers []*Analyzer) string {
+	parts := []string{fmt.Sprintf("schema=%d", cacheSchema), "go=" + runtime.Version()}
+	for _, a := range analyzers {
+		parts = append(parts, fmt.Sprintf("%s@%d", a.Name, a.Version))
+	}
+	return strings.Join(parts, ";")
+}
+
+// scanModule enumerates the module's packages the same way Load does —
+// same directory walk, same file filter — but reads only far enough to
+// hash contents and extract imports, returning packages sorted by
+// import path.
+func scanModule(root string) ([]*scanPkg, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*scanPkg
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var names []string
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				continue
+			}
+			names = append(names, name)
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		h := sha256.New()
+		importSet := make(map[string]bool)
+		for _, name := range names {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", name, len(src))
+			h.Write(src)
+			f, err := parser.ParseFile(fset, name, src, parser.ImportsOnly)
+			if err != nil {
+				continue // Load will report it properly; key still covers content
+			}
+			for _, spec := range f.Imports {
+				importSet[strings.Trim(spec.Path.Value, `"`)] = true
+			}
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		pkgs = append(pkgs, &scanPkg{
+			path:    path,
+			dir:     dir,
+			hash:    hex.EncodeToString(h.Sum(nil)),
+			imports: sortedNames(importSet),
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].path < pkgs[j].path })
+	return pkgs, nil
+}
+
+// computeKeys fills each package's transitive cache key: its own
+// content hash plus, recursively, the keys of its module-internal
+// imports — so an edit invalidates the package and exactly its
+// import-graph dependents.
+func computeKeys(pkgs []*scanPkg, signature string) {
+	byPath := make(map[string]*scanPkg, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.path] = p
+	}
+	var visit func(p *scanPkg) string
+	visit = func(p *scanPkg) string {
+		if p.key != "" {
+			return p.key
+		}
+		p.key = "cycle" // sentinel: import cycles are a build error anyway
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00", signature, p.path, p.hash)
+		for _, imp := range p.imports {
+			if dep := byPath[imp]; dep != nil {
+				fmt.Fprintf(h, "%s=%s\x00", imp, visit(dep))
+			}
+		}
+		p.key = hex.EncodeToString(h.Sum(nil))
+		return p.key
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+}
+
+// entryPath places a package's cache entry under dir.
+func entryPath(dir string, p *scanPkg) string {
+	sum := sha256.Sum256([]byte(p.path))
+	return filepath.Join(dir, hex.EncodeToString(sum[:12])+".json")
+}
+
+// readEntry loads a package's cache entry, nil on any mismatch (absent,
+// unreadable, stale schema, stale key).
+func readEntry(dir string, p *scanPkg) *cacheEntry {
+	data, err := os.ReadFile(entryPath(dir, p))
+	if err != nil {
+		return nil
+	}
+	var entry cacheEntry
+	if json.Unmarshal(data, &entry) != nil || entry.Schema != cacheSchema || entry.Key != p.key {
+		return nil
+	}
+	return &entry
+}
+
+// writeEntry persists one package's result. Cache writes are best
+// effort: a failure costs a future re-analysis, nothing else.
+func writeEntry(dir string, p *scanPkg, res *pkgResult) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{Schema: cacheSchema, Key: p.key, Result: *res})
+	if err != nil {
+		return
+	}
+	tmp := entryPath(dir, p) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, entryPath(dir, p))
+}

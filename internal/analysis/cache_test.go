@@ -1,0 +1,183 @@
+package analysis_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"xemem/internal/analysis"
+)
+
+// copyFixture clones a fixture module into a temp dir so tests can
+// edit sources without touching the checked-in tree.
+func copyFixture(t *testing.T, fixture string) string {
+	t.Helper()
+	src := filepath.Join("testdata", fixture)
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy fixture: %v", err)
+	}
+	return dst
+}
+
+// runCached is RunCached with the test's cache dir and fatal errors.
+func runCached(t *testing.T, root, cacheDir string) ([]analysis.Diagnostic, *analysis.Stats) {
+	t.Helper()
+	diags, stats, err := analysis.RunCached(root, analysis.All(), analysis.Options{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatalf("RunCached: %v", err)
+	}
+	return diags, stats
+}
+
+// TestCacheWarmRun: a second run over unchanged sources must serve
+// every package from the cache — without loading the module at all —
+// and reproduce the cold run's diagnostics exactly (including the
+// module-level conclusions recomputed from cached facts).
+func TestCacheWarmRun(t *testing.T) {
+	root := copyFixture(t, "snapshotcheck")
+	cacheDir := filepath.Join(root, ".vetcache")
+
+	cold, coldStats := runCached(t, root, cacheDir)
+	if coldStats.CacheHits != 0 || len(coldStats.Analyzed) != coldStats.Packages {
+		t.Fatalf("cold run: hits=%d analyzed=%v, want none/all of %d",
+			coldStats.CacheHits, coldStats.Analyzed, coldStats.Packages)
+	}
+	if len(cold) == 0 {
+		t.Fatal("cold run: no diagnostics from the snapshotcheck fixture")
+	}
+
+	warm, warmStats := runCached(t, root, cacheDir)
+	if warmStats.CacheHits != warmStats.Packages || len(warmStats.Analyzed) != 0 {
+		t.Fatalf("warm run: hits=%d/%d analyzed=%v, want all-hit",
+			warmStats.CacheHits, warmStats.Packages, warmStats.Analyzed)
+	}
+	if warmStats.LoadNs != 0 {
+		t.Errorf("warm run loaded the module (LoadNs=%d); the all-hit path must skip loading", warmStats.LoadNs)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm diagnostics diverge from cold:\ncold: %v\nwarm: %v", cold, warm)
+	}
+}
+
+// TestCacheInvalidation: editing one file re-analyzes exactly that
+// package and its import-graph dependents. The snapshotcheck fixture
+// imports sim <- comp <- driver, so a leaf edit re-analyzes one
+// package and a root edit re-analyzes all three.
+func TestCacheInvalidation(t *testing.T) {
+	root := copyFixture(t, "snapshotcheck")
+	cacheDir := filepath.Join(root, ".vetcache")
+	runCached(t, root, cacheDir)
+
+	touch := func(rel string) {
+		path := filepath.Join(root, rel)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", rel, err)
+		}
+		if err := os.WriteFile(path, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+			t.Fatalf("write %s: %v", rel, err)
+		}
+	}
+
+	touch("internal/driver/driver.go")
+	_, stats := runCached(t, root, cacheDir)
+	if want := []string{"fixture/internal/driver"}; !reflect.DeepEqual(stats.Analyzed, want) {
+		t.Errorf("leaf edit re-analyzed %v, want %v", stats.Analyzed, want)
+	}
+
+	touch("internal/sim/sim.go")
+	_, stats = runCached(t, root, cacheDir)
+	want := []string{"fixture/internal/comp", "fixture/internal/driver", "fixture/internal/sim"}
+	sort.Strings(stats.Analyzed)
+	if !reflect.DeepEqual(stats.Analyzed, want) {
+		t.Errorf("root edit re-analyzed %v, want %v", stats.Analyzed, want)
+	}
+
+	// And the third run is warm again.
+	_, stats = runCached(t, root, cacheDir)
+	if stats.CacheHits != stats.Packages {
+		t.Errorf("post-edit warm run: hits=%d/%d", stats.CacheHits, stats.Packages)
+	}
+}
+
+// TestCacheSuppressionRecords: a suppression directive recorded in a
+// cached package must keep silencing module-level diagnostics on fully
+// warm runs (the cache carries the records, not just the verdicts).
+func TestCacheSuppressionRecords(t *testing.T) {
+	root := copyFixture(t, "snapshotcheck")
+	cacheDir := filepath.Join(root, ".vetcache")
+
+	cold, _ := runCached(t, root, cacheDir)
+	warm, _ := runCached(t, root, cacheDir)
+	for _, diags := range [][]analysis.Diagnostic{cold, warm} {
+		for _, d := range diags {
+			if d.Pos.Line == 19 && filepath.ToSlash(d.Pos.Filename) == "internal/comp/comp.go" {
+				t.Errorf("nosnap-annotated field resurfaced: %s", d)
+			}
+		}
+	}
+}
+
+// TestCacheVersionBump: changing an analyzer's version must invalidate
+// every entry (the suite signature participates in each key).
+func TestCacheVersionBump(t *testing.T) {
+	root := copyFixture(t, "snapshotcheck")
+	cacheDir := filepath.Join(root, ".vetcache")
+	runCached(t, root, cacheDir)
+
+	bumped := analysis.All()
+	bumped[len(bumped)-1].Version++
+	_, stats, err := analysis.RunCached(root, bumped, analysis.Options{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatalf("RunCached: %v", err)
+	}
+	if stats.CacheHits != 0 {
+		t.Errorf("version bump still hit the cache %d times", stats.CacheHits)
+	}
+}
+
+// TestCacheWarmSpeedup runs the suite over the real module twice and
+// requires the warm run to be at least 3x faster than the cold one:
+// the whole point of the cache is skipping the load/type-check. Skipped
+// under -short (the cold run type-checks the entire module).
+func TestCacheWarmSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-module cold run is slow")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+
+	_, cold := runCached(t, root, cacheDir)
+	_, warm := runCached(t, root, cacheDir)
+	if warm.CacheHits != warm.Packages {
+		t.Fatalf("warm run not fully cached: %d/%d", warm.CacheHits, warm.Packages)
+	}
+	if warm.TotalNs*3 > cold.TotalNs {
+		t.Errorf("warm run %dns not >=3x faster than cold %dns", warm.TotalNs, cold.TotalNs)
+	}
+}

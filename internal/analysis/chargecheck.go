@@ -14,21 +14,20 @@ import (
 //     Resource acquisition (Acquire/AcquireOp/TryAcquire/Exec), or a
 //     sim.CopyTime conversion feeding one. A calibrated constant nothing
 //     charges is drift waiting to happen: the model documents a cost the
-//     simulation silently omits. Flow is tracked conservatively and
-//     syntactically per function (through local assignments, returns,
-//     stores, and composite literals), so indirect plumbing counts.
+//     simulation silently omits. Flow is tracked through local
+//     assignments, stores, and composite literals — and, via the
+//     interprocedural summaries, through helpers: an argument position a
+//     callee summary marks sunk is a charge zone at the call site, and a
+//     call whose callee returns Costs-derived values charges those
+//     fields when the call itself sits in a charge zone. A field that
+//     merely *returns* from a helper whose result never reaches a sink
+//     is no longer considered charged.
 //
 //  2. Clock bypasses: inside the engine package, an Actor's virtual
 //     clock (the `now` field) may only be mutated by the charge path —
 //     Advance/AdvanceN — and the scheduler's handoff points
 //     (Unblock/Spawn). Any other write desynchronizes actors from the
 //     ready-queue ordering invariant.
-type chargecheck struct {
-	inited  bool
-	fields  []*types.Var
-	charged map[*types.Var]bool
-	fset    *token.FileSet
-}
 
 // chargeSinks are the call names whose arguments constitute "being
 // charged". Matching is by name, deliberately over-approximate: a cost
@@ -56,182 +55,100 @@ var clockPath = map[string]bool{
 	"deliver": true, "advanceSync": true,
 }
 
-func newChargecheck() *Analyzer {
-	c := &chargecheck{charged: make(map[*types.Var]bool)}
-	a := &Analyzer{
-		Name: "chargecheck",
-		Doc:  "flags sim.Costs fields never charged through Charge/ChargeN/AdvanceN or a resource acquisition, and Actor clock writes that bypass the charge path",
-	}
-	a.Run = c.run
-	a.Finish = c.finish
-	return a
+// chargeFacts is chargecheck's per-package contribution to the
+// module-level dead-constant verdict.
+type chargeFacts struct {
+	// Charged lists the Costs field names some flow in this package
+	// charges.
+	Charged []string `json:"charged,omitempty"`
+	// Fields carries the Costs field declarations themselves — emitted
+	// only by the engine package, where the struct lives.
+	Fields []fieldRef `json:"fields,omitempty"`
 }
 
-func (c *chargecheck) run(pass *Pass) {
-	c.ensureInit(pass.Module)
+// fieldRef names a struct field at its (root-relative) declaration
+// position.
+type fieldRef struct {
+	Name string         `json:"name"`
+	Pos  token.Position `json:"pos"`
+}
+
+func newChargecheck() *Analyzer {
+	return &Analyzer{
+		Name:    "chargecheck",
+		Doc:     "flags sim.Costs fields never charged through Charge/ChargeN/AdvanceN or a resource acquisition (flow tracked through helpers via summaries), and Actor clock writes that bypass the charge path",
+		Version: 2,
+		Run:     chargecheckRun,
+		Finish:  chargecheckFinish,
+	}
+}
+
+func chargecheckRun(pass *Pass) any {
+	sums := pass.Module.Summaries()
 	sim := isSimPackage(pass.Module, pass.Pkg)
+	charged := make(map[string]bool)
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			c.markChargedFields(pass.Pkg.Info, fd)
+			markChargedFields(sums, pass.Pkg.Info, fd, charged)
 			if sim {
 				checkClockWrites(pass, fd)
 			}
 		}
 	}
-}
 
-// ensureInit locates sim.Costs in the module under analysis and records
-// its fields. Works for the real module and for fixture mini-modules
-// alike: the engine package is <module>/internal/sim by convention.
-func (c *chargecheck) ensureInit(m *Module) {
-	if c.inited {
-		return
+	facts := chargeFacts{Charged: sortedNames(charged)}
+	if sim {
+		for _, f := range sums.CostsFields() {
+			facts.Fields = append(facts.Fields, fieldRef{Name: f.Name(), Pos: pass.Module.Position(f.Pos())})
+		}
 	}
-	c.inited = true
-	c.fset = m.Fset
-	pkg := m.Lookup(m.Path + "/internal/sim")
-	if pkg == nil || pkg.Types == nil {
-		return
+	if facts.Charged == nil && facts.Fields == nil {
+		return nil
 	}
-	obj := pkg.Types.Scope().Lookup("Costs")
-	if obj == nil {
-		return
-	}
-	st, ok := obj.Type().Underlying().(*types.Struct)
-	if !ok {
-		return
-	}
-	for i := 0; i < st.NumFields(); i++ {
-		c.fields = append(c.fields, st.Field(i))
-	}
+	return facts
 }
 
 // markChargedFields computes, for one function, the source regions whose
-// expressions flow toward a charge (sink arguments, returns, stores,
-// composite literals, and — transitively — the right-hand sides feeding
-// locals that do), then marks every Costs field read inside them.
-func (c *chargecheck) markChargedFields(info *types.Info, fd *ast.FuncDecl) {
-	if len(c.fields) == 0 {
+// expressions flow toward a charge (sink arguments — syntactic and
+// summary-derived — stores, composite literals, and transitively the
+// right-hand sides feeding locals that do), then records every Costs
+// field read inside them and every Costs-returning call made inside
+// them.
+func markChargedFields(sums *Summaries, info *types.Info, fd *ast.FuncDecl, charged map[string]bool) {
+	if len(sums.CostsFields()) == 0 {
 		return
 	}
-	fieldSet := make(map[types.Object]bool, len(c.fields))
-	for _, f := range c.fields {
-		fieldSet[f] = true
-	}
-
-	var zones []posRange
-	type assignment struct {
-		lhs map[types.Object]bool
-		rhs []ast.Expr
-	}
-	var assigns []assignment
-
+	zones := sums.sinkZones(info, fd.Body)
+	_, storeRHS := collectAssigns(info, fd.Body)
+	zones = append(zones, storeRHS...)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if chargeSinks[calleeName(n)] {
-				for _, arg := range n.Args {
-					zones = append(zones, rangeOf(arg))
-				}
-			}
-		case *ast.ReturnStmt:
-			for _, r := range n.Results {
-				zones = append(zones, rangeOf(r))
-			}
-		case *ast.CompositeLit:
-			zones = append(zones, rangeOf(n))
-		case *ast.AssignStmt:
-			a := assignment{lhs: make(map[types.Object]bool)}
-			storing := false
-			for _, l := range n.Lhs {
-				switch l := l.(type) {
-				case *ast.Ident:
-					if obj := info.Defs[l]; obj != nil {
-						a.lhs[obj] = true
-					} else if obj := info.Uses[l]; obj != nil {
-						a.lhs[obj] = true
-					}
-				default:
-					storing = true // selector/index store: escapes the function's locals
-				}
-			}
-			a.rhs = n.Rhs
-			assigns = append(assigns, a)
-			if storing {
-				for _, r := range n.Rhs {
-					zones = append(zones, rangeOf(r))
-				}
-			}
-		case *ast.ValueSpec:
-			a := assignment{lhs: make(map[types.Object]bool)}
-			for _, name := range n.Names {
-				if obj := info.Defs[name]; obj != nil {
-					a.lhs[obj] = true
-				}
-			}
-			a.rhs = n.Values
-			assigns = append(assigns, a)
+		if cl, ok := n.(*ast.CompositeLit); ok {
+			zones = append(zones, rangeOf(cl))
 		}
 		return true
 	})
+	zones, _ = taintFlow(info, fd.Body, zones, nil)
 
-	// Seed the taint set with every object read inside a zone, then
-	// propagate backward through local assignments until nothing changes:
-	// if a tainted local is assigned from an expression, whatever feeds
-	// that expression is tainted too.
-	tainted := make(map[types.Object]bool)
-	for _, z := range zones {
-		collectObjectsIn(info, fd.Body, z, tainted)
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, a := range assigns {
-			hit := false
-			for obj := range a.lhs {
-				if tainted[obj] {
-					hit = true
-					break
-				}
-			}
-			if !hit {
-				continue
-			}
-			for _, r := range a.rhs {
-				before := len(tainted)
-				identObjects(info, r, tainted)
-				if len(tainted) != before {
-					changed = true
-				}
-			}
-		}
-	}
-	for _, a := range assigns {
-		for obj := range a.lhs {
-			if tainted[obj] {
-				for _, r := range a.rhs {
-					zones = append(zones, rangeOf(r))
-				}
-				break
-			}
-		}
-	}
-
-	// Finally: a Costs field selected inside any charged zone is charged.
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		s, ok := info.Selections[sel]
-		if !ok || !fieldSet[s.Obj()] {
-			return true
-		}
-		if inAny(zones, sel.Pos()) {
-			c.charged[s.Obj().(*types.Var)] = true
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sums.IsCostsField(sel.Obj()) && inAny(zones, n.Pos()) {
+				charged[sel.Obj().Name()] = true
+			}
+		case *ast.CallExpr:
+			// A call in a charge zone charges whatever Costs fields its
+			// callee's results carry.
+			if inAny(zones, n.Pos()) {
+				if cs := sums.Of(resolveCallee(info, n)); cs != nil {
+					for _, name := range cs.CostsReturns {
+						charged[name] = true
+					}
+				}
+			}
 		}
 		return true
 	})
@@ -283,17 +200,27 @@ func checkClockWrites(pass *Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// finish reports the cost constants nothing in the module charges.
-func (c *chargecheck) finish(m *Module, report func(Diagnostic)) {
-	for _, f := range c.fields {
-		if c.charged[f] {
+// chargecheckFinish unions every package's charged-field set against the
+// engine's Costs declaration and reports the constants nothing charges.
+func chargecheckFinish(f *FinishPass) {
+	charged := make(map[string]bool)
+	var fields []fieldRef
+	for _, path := range f.Paths() {
+		var facts chargeFacts
+		if !f.Fact(path, &facts) {
 			continue
 		}
-		report(Diagnostic{
-			Pos:      m.Fset.Position(f.Pos()),
-			Analyzer: "chargecheck",
-			Message: "cost constant Costs." + f.Name() + " is never charged: no flow into Charge/ChargeN/Advance*/Acquire*/Exec/CopyTime anywhere in the module" +
-				" — wire it into a substrate cost path or document the exception with //xemem:allow chargecheck -- <reason>",
-		})
+		for _, name := range facts.Charged {
+			charged[name] = true
+		}
+		fields = append(fields, facts.Fields...)
+	}
+	for _, field := range fields {
+		if charged[field.Name] {
+			continue
+		}
+		f.Reportf(field.Pos,
+			"cost constant Costs.%s is never charged: no flow into Charge/ChargeN/Advance*/Acquire*/Exec/CopyTime anywhere in the module"+
+				" — wire it into a substrate cost path or document the exception with //xemem:allow chargecheck -- <reason>", field.Name)
 	}
 }

@@ -28,13 +28,15 @@ var processIdentityFuncs = map[string]bool{
 
 func newDeterminism() *Analyzer {
 	a := &Analyzer{
-		Name: "determinism",
-		Doc:  "flags wall-clock, math/rand, and process-identity nondeterminism; excuse real benchmark timers with //xemem:wallclock -- <reason>",
+		Name:    "determinism",
+		Doc:     "flags wall-clock, math/rand, and process-identity nondeterminism; excuse real benchmark timers with //xemem:wallclock -- <reason>",
+		Version: 1,
 	}
-	a.Run = func(pass *Pass) {
+	a.Run = func(pass *Pass) any {
 		for _, f := range pass.Pkg.Files {
 			runDeterminismFile(pass, f)
 		}
+		return nil
 	}
 	return a
 }

@@ -8,31 +8,90 @@ import (
 
 // Suppression directives.
 //
-// Two comment forms silence diagnostics, both requiring a reason:
+// Three comment forms silence diagnostics, all requiring a reason:
 //
 //	//xemem:allow <analyzer> -- <reason>
 //	//xemem:wallclock -- <reason>
+//	//xemem:nosnap -- <reason>
 //
 // A directive written at the end of a code line suppresses that line's
 // findings; a directive on a line of its own (including the last line of
-// a doc comment) suppresses the line below it. The determinism analyzer
-// is special-cased per the invariant it guards: its findings are real
-// uses of host time and may only be excused as deliberate wall-clock
-// measurement via //xemem:wallclock — //xemem:allow determinism is
-// rejected. Malformed directives (missing " -- ", empty reason, unknown
+// a doc comment) suppresses the line below it. Two analyzers are
+// special-cased per the invariants they guard: determinism findings are
+// real uses of host time and may only be excused as deliberate
+// wall-clock measurement via //xemem:wallclock, and snapshotcheck
+// findings are per-field coverage gaps excused only by annotating the
+// field itself with //xemem:nosnap (for derived, rebuilt, or transient
+// state the snapshot deliberately omits) — //xemem:allow is rejected
+// for both. Malformed directives (missing " -- ", empty reason, unknown
 // analyzer) are themselves reported under the "directive" name and
 // cannot be suppressed.
 
 const (
 	allowPrefix     = "//xemem:allow"
 	wallclockPrefix = "//xemem:wallclock"
+	nosnapPrefix    = "//xemem:nosnap"
 )
+
+// ParseDirective parses one comment's //xemem: directive. known is the
+// analyzer-name vocabulary //xemem:allow accepts. For a well-formed
+// directive it returns the analyzer silenced and the reason; for a
+// malformed one errMsg is non-empty (the text of the unsuppressible
+// finding); for a comment that is no directive at all, every result is
+// empty. It never panics, whatever the input: the directive parser sits
+// on the trust boundary between source comments and the suppression
+// index, so it is fuzzed (FuzzDirective).
+func ParseDirective(text string, known map[string]bool) (analyzer, reason, errMsg string) {
+	if !strings.HasPrefix(text, "//xemem:") {
+		return "", "", ""
+	}
+	var body string
+	switch {
+	case strings.HasPrefix(text, wallclockPrefix):
+		analyzer = "determinism"
+		body = strings.TrimSpace(strings.TrimPrefix(text, wallclockPrefix))
+	case strings.HasPrefix(text, nosnapPrefix):
+		analyzer = "snapshotcheck"
+		body = strings.TrimSpace(strings.TrimPrefix(text, nosnapPrefix))
+	case strings.HasPrefix(text, allowPrefix):
+		body = strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+		analyzer, body, _ = strings.Cut(body, " ")
+		body = strings.TrimSpace(body)
+		switch {
+		case analyzer == "" || strings.HasPrefix(analyzer, "--"):
+			return "", "", "//xemem:allow needs an analyzer name: //xemem:allow <analyzer> -- <reason>"
+		case analyzer == "determinism":
+			return "", "", "determinism findings may only be excused via //xemem:wallclock -- <reason>"
+		case analyzer == "snapshotcheck":
+			return "", "", "snapshot exceptions are per-field: annotate the field with //xemem:nosnap -- <reason>"
+		case !known[analyzer]:
+			return "", "", fmt.Sprintf("//xemem:allow names unknown analyzer %q", analyzer)
+		}
+	default:
+		return "", "", fmt.Sprintf("unknown //xemem: directive %q", firstField(text))
+	}
+	reason, ok := strings.CutPrefix(body, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return "", "", "//xemem: directive needs a ' -- <reason>' explaining the exception"
+	}
+	return analyzer, strings.TrimSpace(reason), ""
+}
+
+// supRecord is one applied suppression: analyzer silenced on a
+// (root-relative) file line. Serialized into cache entries so
+// module-level diagnostics honor cached packages' directives.
+type supRecord struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+}
 
 // suppressions indexes which analyzers are silenced on which lines, plus
 // the diagnostics produced by malformed directives.
 type suppressions struct {
-	byLine map[lineKey]map[string]bool
-	errors []Diagnostic
+	byLine  map[lineKey]map[string]bool
+	records []supRecord
+	errors  []Diagnostic
 }
 
 type lineKey struct {
@@ -52,24 +111,23 @@ func (s *suppressions) add(file string, line int, analyzer string) {
 	s.byLine[k][analyzer] = true
 }
 
+func (s *suppressions) record(file string, line int, analyzer string) {
+	s.add(file, line, analyzer)
+	s.records = append(s.records, supRecord{File: file, Line: line, Analyzer: analyzer})
+}
+
 func (s *suppressions) errorf(pos token.Position, format string, args ...any) {
 	s.errors = append(s.errors, Diagnostic{Pos: pos, Analyzer: "directive", Message: fmt.Sprintf(format, args...)})
 }
 
-// collectDirectives scans every comment in the module for //xemem:
-// directives and builds the suppression index.
-func collectDirectives(m *Module, analyzers []*Analyzer) *suppressions {
-	known := make(map[string]bool)
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
+// collectPackageDirectives scans one package's comments for //xemem:
+// directives and builds its suppression index.
+func collectPackageDirectives(m *Module, pkg *Package, known map[string]bool) *suppressions {
 	sup := &suppressions{byLine: make(map[lineKey]map[string]bool)}
-	for _, pkg := range m.Pkgs {
-		for _, f := range pkg.Files {
-			for _, group := range f.Comments {
-				for _, c := range group.List {
-					sup.directive(m, c.Pos(), c.Text, known)
-				}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				sup.directive(m, c.Pos(), c.Text, known)
 			}
 		}
 	}
@@ -81,39 +139,15 @@ func (s *suppressions) directive(m *Module, pos token.Pos, text string, known ma
 	if !strings.HasPrefix(text, "//xemem:") {
 		return
 	}
-	p := m.Fset.Position(pos)
-	var analyzer, body string
-	switch {
-	case strings.HasPrefix(text, wallclockPrefix):
-		analyzer = "determinism"
-		body = strings.TrimSpace(strings.TrimPrefix(text, wallclockPrefix))
-	case strings.HasPrefix(text, allowPrefix):
-		body = strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
-		analyzer, body, _ = strings.Cut(body, " ")
-		body = strings.TrimSpace(body)
-		switch {
-		case analyzer == "" || strings.HasPrefix(analyzer, "--"):
-			s.errorf(p, "//xemem:allow needs an analyzer name: //xemem:allow <analyzer> -- <reason>")
-			return
-		case analyzer == "determinism":
-			s.errorf(p, "determinism findings may only be excused via //xemem:wallclock -- <reason>")
-			return
-		case !known[analyzer]:
-			s.errorf(p, "//xemem:allow names unknown analyzer %q", analyzer)
-			return
-		}
-	default:
-		s.errorf(p, "unknown //xemem: directive %q", firstField(text))
+	p := m.Position(pos)
+	analyzer, _, errMsg := ParseDirective(text, known)
+	if errMsg != "" {
+		s.errorf(p, "%s", errMsg)
 		return
 	}
-	reason, ok := strings.CutPrefix(body, "--")
-	if !ok || strings.TrimSpace(reason) == "" {
-		s.errorf(p, "//xemem: directive needs a ' -- <reason>' explaining the exception")
-		return
-	}
-	s.add(p.Filename, p.Line, analyzer)
+	s.record(p.Filename, p.Line, analyzer)
 	if wholeLine(m, p) {
-		s.add(p.Filename, p.Line+1, analyzer)
+		s.record(p.Filename, p.Line+1, analyzer)
 	}
 }
 

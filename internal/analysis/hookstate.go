@@ -26,16 +26,18 @@ import (
 // outside xemem-vet's scope and may save/restore hooks freely.
 func newHookstate() *Analyzer {
 	a := &Analyzer{
-		Name: "hookstate",
-		Doc:  "flags writes to package-level func-typed hook variables outside package main; library code must thread observers explicitly",
+		Name:    "hookstate",
+		Doc:     "flags writes to package-level func-typed hook variables outside package main; library code must thread observers explicitly",
+		Version: 1,
 	}
-	a.Run = func(pass *Pass) {
+	a.Run = func(pass *Pass) any {
 		if pass.Pkg.Types == nil || pass.Pkg.Types.Name() == "main" {
-			return
+			return nil
 		}
 		for _, f := range pass.Pkg.Files {
 			checkHookWrites(pass, f)
 		}
+		return nil
 	}
 	return a
 }

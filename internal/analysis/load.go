@@ -40,6 +40,23 @@ type Module struct {
 
 	byPath map[string]*Package
 	lines  map[string][]string // filename -> source lines (1-based via index+1)
+	order  []*Package          // dependency (topological) order
+
+	// summaries is the lazily built interprocedural summary index shared
+	// by every analyzer pass over this module.
+	summaries *Summaries
+}
+
+// Position resolves pos to a token.Position whose filename is relative
+// to the module root — the canonical form every diagnostic, directive,
+// and cached fact uses, so cache entries are relocatable and output is
+// stable across checkouts.
+func (m *Module) Position(pos token.Pos) token.Position {
+	p := m.Fset.Position(pos)
+	if rel, err := filepath.Rel(m.Root, p.Filename); err == nil {
+		p.Filename = filepath.ToSlash(rel)
+	}
+	return p
 }
 
 // Lookup returns the module package with the given import path, nil if
@@ -98,6 +115,7 @@ func Load(root string) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.order = order
 	imp := &moduleImporter{m: m, std: importer.ForCompiler(m.Fset, "source", nil)}
 	for _, pkg := range order {
 		m.check(pkg, imp)
@@ -167,7 +185,11 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: parse %s: %w", filename, err)
 		}
-		m.lines[filename] = strings.Split(string(src), "\n")
+		// Keyed root-relative: directive and diagnostic positions use the
+		// relative form throughout.
+		if rel, err := filepath.Rel(m.Root, filename); err == nil {
+			m.lines[filepath.ToSlash(rel)] = strings.Split(string(src), "\n")
+		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {

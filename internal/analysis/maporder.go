@@ -31,10 +31,11 @@ var exporterPrefixes = []string{
 
 func newMaporder() *Analyzer {
 	a := &Analyzer{
-		Name: "maporder",
-		Doc:  "flags map iteration in exporter-feeding functions unless keys are collected and sorted; nondeterministic order corrupts golden digests",
+		Name:    "maporder",
+		Doc:     "flags map iteration in exporter-feeding functions unless keys are collected and sorted; nondeterministic order corrupts golden digests",
+		Version: 1,
 	}
-	a.Run = func(pass *Pass) {
+	a.Run = func(pass *Pass) any {
 		tracePkg := hasSuffixPath(pass.Pkg.Path, "trace")
 		for _, f := range pass.Pkg.Files {
 			for _, decl := range f.Decls {
@@ -47,6 +48,7 @@ func newMaporder() *Analyzer {
 				}
 			}
 		}
+		return nil
 	}
 	return a
 }

@@ -13,16 +13,19 @@ import (
 // returns only when it ends), so the leak-prone handles in this
 // codebase are the protocol-level ones.
 //
-// The check is conservatively syntactic, per top-level function
-// (closures included — experiment bodies acquire inside actor
-// closures): a handle that is returned, stored, or passed onward is
-// assumed to transfer ownership and is never flagged. What is flagged
-// is a handle no path can ever release:
+// The check is per acquire site but sees through the module's own
+// helpers via the interprocedural summaries: a handle passed to a
+// callee that releases the matching parameter counts as released, one
+// passed to a callee that stores or re-exports it (or to code the
+// module cannot see into) counts as transferred and is exempt. What is
+// flagged is a handle no path can ever release:
 //
 //   - the acquire's results are discarded outright (expression
-//     statement, or the handle bound to _), or
+//     statement, or the handle bound to _),
 //   - the handle is bound to a local that is never mentioned again —
-//     including by a deferred release.
+//     including by a deferred release — or
+//   - every use of the handle merely reads it (comparisons, logging,
+//     passing to module helpers that neither release nor keep it).
 type pairSpec struct {
 	recv    map[string]bool // receiver type names the pair applies to
 	acquire string
@@ -32,40 +35,41 @@ type pairSpec struct {
 
 var pairs = []pairSpec{
 	{
-		recv:    map[string]bool{"Session": true, "Module": true},
+		recv:    pairRecvSet,
 		acquire: "Get", release: "Release", noun: "access permit (apid)",
 	},
 	{
-		recv:    map[string]bool{"Session": true, "Module": true},
+		recv:    pairRecvSet,
 		acquire: "Attach", release: "Detach", noun: "attachment address",
 	},
 	// The option-struct forms acquire the same handles as their
 	// positional counterparts and retire through the same calls.
 	{
-		recv:    map[string]bool{"Session": true, "Module": true},
+		recv:    pairRecvSet,
 		acquire: "GetWith", release: "Release", noun: "access permit (apid)",
 	},
 	{
-		recv:    map[string]bool{"Session": true, "Module": true},
+		recv:    pairRecvSet,
 		acquire: "AttachWith", release: "Detach", noun: "attachment address",
 	},
 }
 
 func newPaircheck() *Analyzer {
-	a := &Analyzer{
-		Name: "paircheck",
-		Doc:  "flags XPMEM Get/Attach handles that no path can Release/Detach (discarded or never used); escaped handles transfer ownership and are exempt",
-	}
-	a.Run = func(pass *Pass) {
-		for _, f := range pass.Pkg.Files {
-			for _, decl := range f.Decls {
-				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-					checkPairs(pass, fd)
+	return &Analyzer{
+		Name:    "paircheck",
+		Doc:     "flags XPMEM Get/Attach handles no path can Release/Detach (directly or via a summarized helper); escaped handles transfer ownership and are exempt",
+		Version: 2,
+		Run: func(pass *Pass) any {
+			for _, f := range pass.Pkg.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+						checkPairs(pass, fd)
+					}
 				}
 			}
-		}
+			return nil
+		},
 	}
-	return a
 }
 
 // pairFor matches a call against the pair table, requiring resolved
@@ -82,18 +86,7 @@ func pairFor(info *types.Info, call *ast.CallExpr) *pairSpec {
 
 func checkPairs(pass *Pass, fd *ast.FuncDecl) {
 	info := pass.Pkg.Info
-
-	// Count identifier uses per object across the whole declaration so a
-	// later pass can ask "is this handle ever read again?".
-	uses := make(map[types.Object]int)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if obj := info.Uses[id]; obj != nil {
-				uses[obj]++
-			}
-		}
-		return true
-	})
+	sums := pass.Module.Summaries()
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -131,9 +124,17 @@ func checkPairs(pass *Pass, fd *ast.FuncDecl) {
 				// captured or package-level): treat as escaping.
 				return true
 			}
-			if uses[obj] == 0 {
+			released, escaped, reads := sums.classifyUses(info, fd.Body, obj)
+			switch {
+			case released || escaped:
+				// Paired (possibly inside a helper) or ownership
+				// transferred: fine either way.
+			case reads == 0:
 				pass.Reportf(call.Pos(),
 					"%s handle %q is never used again: no path (including defer) pairs it with %s", p.acquire, handle.Name, p.release)
+			default:
+				pass.Reportf(call.Pos(),
+					"%s handle %q is only ever read: no path (including the module's own helpers) pairs it with %s or takes ownership", p.acquire, handle.Name, p.release)
 			}
 		}
 		return true

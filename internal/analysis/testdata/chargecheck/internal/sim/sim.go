@@ -25,6 +25,18 @@ type Costs struct {
 	// LeaseExpiry is a TTL the lease path only compares against the
 	// clock; reading is not charging, so the analyzer must flag it.
 	LeaseExpiry Time
+
+	// Helper reaches a Charge only through the laundering helper in
+	// sub/helper.go — the summary edge chargecheck must follow.
+	Helper Time
+
+	// Picked reaches a Charge as a helper's return value: the helper
+	// returns it and the caller sinks the result.
+	Picked Time
+
+	// PickedDead is returned by a helper whose result is never sunk:
+	// returning is not charging, so the analyzer must flag it.
+	PickedDead Time
 }
 
 // Actor is the fixture actor.

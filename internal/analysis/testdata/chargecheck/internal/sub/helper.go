@@ -1,0 +1,33 @@
+// Interprocedural chargecheck cases: a cost that reaches the sink only
+// through a laundering helper's parameter, one that reaches it as a
+// helper's return value, and one a helper returns to a caller that
+// never sinks it.
+package sub
+
+import "fixture/internal/sim"
+
+// chargeAll launders its cost through a parameter: a caller passing a
+// Costs field here is charging it.
+func chargeAll(a *sim.Actor, op string, d sim.Time) {
+	a.Charge(op, d)
+}
+
+// Laundered charges c.Helper only via chargeAll.
+func Laundered(a *sim.Actor, c *sim.Costs) {
+	chargeAll(a, "helper", c.Helper)
+}
+
+// pick returns a cost for the caller to spend.
+func pick(c *sim.Costs) sim.Time { return c.Picked }
+
+// Picked sinks pick's result, so Costs.Picked counts as charged.
+func Picked(a *sim.Actor, c *sim.Costs) {
+	a.Charge("picked", pick(c))
+}
+
+// pickDead also returns a cost, but its only caller just compares the
+// result against zero — Costs.PickedDead stays dead.
+func pickDead(c *sim.Costs) sim.Time { return c.PickedDead }
+
+// Compared never sinks pickDead's result.
+func Compared(c *sim.Costs) bool { return pickDead(c) > 0 }

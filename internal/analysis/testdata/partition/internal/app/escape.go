@@ -1,0 +1,61 @@
+// Closure-escape cases for the partition analyzer: a plain closure
+// that captures the running actor must not leave the dispatch that
+// owns it — not via `go`, not via a scheduler spawn, and not via a
+// helper whose summary says the parameter runs on another goroutine.
+package app
+
+import "fixture/internal/sim"
+
+// runLater hands the closure to another goroutine: its parameter
+// go-escapes, which the summary must record.
+func runLater(f func()) { go f() }
+
+// runNow invokes the closure synchronously, inside the calling
+// dispatch: handing it an actor capture is fine.
+func runNow(f func()) { f() }
+
+// GoEscape launches a goroutine straight from the actor body.
+func GoEscape(spawn func(func(*sim.Actor))) {
+	spawn(func(a *sim.Actor) {
+		go func() { a.Advance(1) }() // flagged: leaves the dispatch
+	})
+}
+
+// HelperEscape hands an actor-capturing closure to runLater: the
+// escape happens inside the helper, so only the summary sees it.
+func HelperEscape(spawn func(func(*sim.Actor))) {
+	spawn(func(a *sim.Actor) {
+		runLater(func() { a.Advance(1) }) // flagged via runLater's summary
+	})
+}
+
+// NamedEscape binds the closure to a local first; the escape is the
+// same.
+func NamedEscape(spawn func(func(*sim.Actor))) {
+	spawn(func(a *sim.Actor) {
+		tick := func() { a.Advance(1) }
+		runLater(tick) // flagged via the tracked local
+	})
+}
+
+// SpawnEscape hands the closure to a scheduler spawn by name.
+func SpawnEscape(spawn func(func(*sim.Actor)), pool *sim.Pool) {
+	spawn(func(a *sim.Actor) {
+		pool.Go(func() { a.Advance(1) }) // flagged: scheduler spawn
+	})
+}
+
+// SyncHelper stays silent: runNow runs the closure within this
+// dispatch.
+func SyncHelper(spawn func(func(*sim.Actor))) {
+	spawn(func(a *sim.Actor) {
+		runNow(func() { a.Advance(1) })
+	})
+}
+
+// EscapeExcused pins the suppression path for the escape rule.
+func EscapeExcused(spawn func(func(*sim.Actor))) {
+	spawn(func(a *sim.Actor) {
+		runLater(func() { a.Advance(1) }) //xemem:allow partition -- fixture: the helper re-enters the same partition by construction
+	})
+}

@@ -16,6 +16,12 @@ func (a *Actor) Advance(d int64)  {}
 func (a *Actor) Unblock(b *Actor) {}
 func (a *Actor) RNG() int         { return 0 }
 
+// Pool is the stub scheduler surface: Go runs a closure as part of
+// another partition's dispatch.
+type Pool struct{}
+
+func (p *Pool) Go(f func()) {}
+
 // Mailbox is the stub cross-partition channel.
 type Mailbox struct{}
 

@@ -1,0 +1,9 @@
+// Package driver mutates a snapshotted type from outside its package:
+// the owning package cannot see the write, so it must travel as an
+// external-write fact to keep the module-wide verdict sound.
+package driver
+
+import "fixture/internal/comp"
+
+// Poke skews a counter from the outside.
+func Poke(c *comp.Counter) { c.Skew++ }

@@ -224,16 +224,16 @@ type Module struct {
 	// replicas host NS instances without being the root.
 	nsRoot bool
 
-	links        []xproto.Link
-	kernel       *sim.Actor
-	workers      int
+	links        []xproto.Link //xemem:nosnap -- topology wiring installed by AddLink at build time; restore recipes rebuild the links before overlaying state
+	kernel       *sim.Actor    //xemem:nosnap -- host-side actor handle recreated by the restore recipe's world build, not serializable state
+	workers      int           //xemem:nosnap -- build-time configuration (SetKernelWorkers), re-applied by the restore recipe
 	ready        bool
 	stopped      bool
 	crashed      bool
-	pendingPings []pendingPing
+	pendingPings []pendingPing //xemem:nosnap -- bootstrap-transient: drained the moment the kernel turns ready, before the world can quiesce for a snapshot
 	// bootIDReq is the outstanding enclave-ID request during a
 	// fault-injected bootstrap (0 otherwise).
-	bootIDReq uint64
+	bootIDReq uint64 //xemem:nosnap -- bootstrap-transient: zeroed when the enclave ID arrives, before the world can quiesce for a snapshot
 
 	segs         map[xproto.Segid]*Segment
 	attachments  map[*proc.Region]*Attachment
@@ -252,7 +252,7 @@ type Module struct {
 	// nic, when non-nil, bridges this enclave to a multi-machine
 	// interconnect: attachments whose owner lives on another machine
 	// mirror the frames over the fabric instead of mapping them.
-	nic NIC
+	nic NIC //xemem:nosnap -- fabric wiring installed by SetNIC at build time; restore recipes rebuild the interconnect
 	// shards, when non-nil, switches name resolution to the sharded
 	// protocol: segids and names resolve at their home shard replicas and
 	// resolved owners are cached under virtual-time leases.

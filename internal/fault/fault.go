@@ -88,7 +88,7 @@ type Injector struct {
 	// per-partition streams derive from it so they are independent of how
 	// far partition 0 has already drawn when a partition first faults.
 	forkBase *sim.RNG
-	mods     []*core.Module
+	mods     []*core.Module //xemem:nosnap -- module registry wired by Register at world build; restore recipes rebuild the same topology
 
 	// mu guards the lazily grown partition table. The per-partition state
 	// itself needs no lock: the engine runs at most one actor of a

@@ -48,7 +48,7 @@ type Linux struct {
 	cores   []*sim.Core
 	zone    *mem.Zone
 	dom     proc.Domain
-	virt    VirtHooks // nil when native
+	virt    VirtHooks //xemem:nosnap -- nil when native; virtualization wiring installed by SetVirtHooks at build time, rebuilt by the restore recipe
 	nextPID int
 
 	procCore map[*proc.Process]*sim.Core
@@ -58,7 +58,7 @@ type Linux struct {
 
 	// activeMappers counts processes currently inside an address-space
 	// update; >1 means shared mm structures are bouncing between cores.
-	activeMappers int
+	activeMappers int //xemem:nosnap -- reentrancy meter around one address-space update; the paired decrement runs before the actor yields for good, so it is zero whenever the world is quiescent for a snapshot
 }
 
 // New creates a Linux instance with ncores cores over the given zone and

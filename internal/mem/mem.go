@@ -36,7 +36,7 @@ type PhysMem struct {
 	// arrays instead of a make per frame. Only NEW frames draw from it —
 	// a freed-and-reallocated frame keeps its old array (and stale
 	// contents), exactly as before.
-	slab []byte
+	slab []byte //xemem:nosnap -- host-side allocator free pool; frame contents are snapshotted per-frame and a restored world carves fresh slabs on demand
 	// pins counts pin references per extent. Pin/Unpin operate on whole
 	// frame lists and must be symmetric (unpin what was pinned); keeping
 	// intervals instead of per-page counts makes pinning a 1 GB region

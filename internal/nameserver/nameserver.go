@@ -26,13 +26,13 @@ type NS struct {
 	// the shard count for a shard replica (ConfigureShard), so every shard
 	// allocates within its own residue class and a segid's home shard is
 	// computable locally (ShardOf) without a directory.
-	allocStep xproto.Segid
+	allocStep xproto.Segid //xemem:nosnap -- deployment config (ConfigureShard stride), re-applied by the restore recipe's world build
 	owners    map[xproto.Segid]xproto.EnclaveID
 	names     map[string]xproto.Segid
 	// nameOf is the reverse index of names, so retiring a segid drops its
 	// bindings without scanning the whole registry. A segid can carry
 	// several names (publish is idempotent per name, first-come).
-	nameOf map[xproto.Segid][]string
+	nameOf map[xproto.Segid][]string //xemem:nosnap -- derived reverse index; LoadSnapshot rebuilds it from the encoded names map
 	// down records crashed enclaves. Their segid registrations are kept —
 	// a lookup of a dead owner's segment must report "enclave down", not
 	// "no such segment" — but requests toward them are answered with
