@@ -25,6 +25,14 @@ vet:
 	fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/xemem-vet -timing ./...
+	@# Exemplar code (examples/, cmd/) uses the option-struct API —
+	@# GetWith/AttachWith — never the positional thin wrappers
+	@# (DESIGN.md: option-struct convention).
+	@bad=$$(grep -rnE '\.(Get|Attach)\(a[,)]' examples cmd || true); \
+	if [ -n "$$bad" ]; then \
+		echo "positional Get/Attach in exemplar code (use GetWith/AttachWith):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -39,8 +47,8 @@ build:
 # (TestParallelFaultMatrix), each held byte-identical to its serial
 # reference.
 race:
-	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem ./internal/experiments/sweep ./internal/fault ./internal/cluster ./internal/rdma
-	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain|TestParallel|TestFaultSweep|TestClusterSweep'
+	$(GO) test -race ./internal/sim ./internal/sim/trace ./internal/xpmem ./internal/coll ./internal/experiments/sweep ./internal/fault ./internal/cluster ./internal/rdma
+	$(GO) test -race ./internal/experiments -run 'TestGolden|TestTracing|TestFig6Explain|TestParallel|TestFaultSweep|TestClusterSweep|TestCollSweep'
 
 test:
 	$(GO) test ./...
@@ -88,13 +96,17 @@ replay:
 # under message loss and enclave crashes, BENCH_fault.json — fully
 # deterministic: reruns are byte-identical), the parallel-engine
 # scaling grid (partition-count × actor-count, serial vs parallel
-# wall-clock with digest identity, BENCH_parallel.json), and the
+# wall-clock with digest identity, BENCH_parallel.json), the
 # cluster-scale name-service sweep (flat vs sharded lookup latency
 # across node counts, BENCH_cluster.json — also byte-identical on
-# rerun).
+# rerun), and the hierarchical-collective sweep (bcast/allreduce
+# latency across hierarchy depth × enclave mix × message size with the
+# zero-copy/CICO switchover and registration-cache counters,
+# BENCH_coll.json — byte-identical on rerun at any worker count).
 bench:
 	$(GO) run ./cmd/xemem-bench -json
 	$(GO) run ./cmd/xemem-bench -sweep-json
 	$(GO) run ./cmd/xemem-bench -fault-json
 	$(GO) run ./cmd/xemem-bench -parallel-json
 	$(GO) run ./cmd/xemem-bench -cluster-json
+	$(GO) run ./cmd/xemem-bench -coll-json

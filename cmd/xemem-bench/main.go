@@ -32,6 +32,7 @@ func main() {
 	sweepJSON := flag.Bool("sweep-json", false, "run the sweep benchmark and write BENCH_sweep.json (serial vs parallel wall-clock, allocs/op on the hot paths)")
 	faultJSON := flag.Bool("fault-json", false, "run the fault-injection sweep and write BENCH_fault.json (protocol degradation, failure attribution, and per-cell trace digests across drop rates and enclave crashes)")
 	clusterJSON := flag.Bool("cluster-json", false, "run the cluster-scale name-service sweep and write BENCH_cluster.json (flat vs sharded lookup latency across node counts, lease-cache counters, churn cells, and per-cell trace digests)")
+	collJSON := flag.Bool("coll-json", false, "run the hierarchical-collective sweep and write BENCH_coll.json (bcast/allreduce latency across hierarchy depth, enclave mix, and message size; zero-copy vs CICO switchover; registration-cache counters and per-level time attribution)")
 	parallelJSON := flag.Bool("parallel-json", false, "run the parallel-engine scaling grid and write BENCH_parallel.json (partition-count × actor-count, serial vs parallel wall-clock, digest identity)")
 	snapshotJSON := flag.Bool("snapshot-json", false, "run the snapshot-fork benchmark and write BENCH_snapshot.json (snapshot-forked vs re-bootstrapped fig9 sweep cells, digest identity)")
 	replayPath := flag.String("replay", "", "re-run the repro bundle at this path and verify its snapshot hash and trace digest")
@@ -182,6 +183,17 @@ func main() {
 		}
 		fmt.Println(res.String())
 		fmt.Println("wrote BENCH_cluster.json")
+		return
+	}
+
+	if *collJSON {
+		res, err := experiments.CollSweep(*seed, *parallel, "BENCH_coll.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coll sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Println("wrote BENCH_coll.json")
 		return
 	}
 

@@ -4,15 +4,9 @@
 // per-enclave routing tables. With -demo it also runs a shared-memory
 // exchange between the first and last leaf enclaves.
 //
-// Spec grammar (children of the Linux management enclave at top level):
-//
-//	spec  := node ("," node)*
-//	node  := ("kitten" | "vm") [ "(" spec ")" ]
-//
-// kitten children may be kittens (nested co-kernels) or vms (Palacios on
-// a Kitten host); vm nodes are leaves.
-//
-// Example: -spec "kitten,kitten(vm,vm),vm" reproduces Figure 1's node.
+// The spec grammar and builder are the public xemem.Topology API
+// (xemem.ParseTopology / Topology.Build); see its doc comment. Example:
+// -spec "kitten,kitten(vm,vm),vm" reproduces Figure 1's node.
 package main
 
 import (
@@ -24,22 +18,12 @@ import (
 	"strings"
 
 	"xemem"
-	"xemem/internal/core"
 	"xemem/internal/experiments/sweep"
 	"xemem/internal/pagetable"
-	"xemem/internal/palacios"
-	"xemem/internal/pisces"
 	"xemem/internal/sim"
 	"xemem/internal/sim/trace"
 	"xemem/internal/xpmem"
 )
-
-type enclave struct {
-	name   string
-	mod    *core.Module
-	kitten *pisces.CoKernel // nil for VMs
-	vm     *palacios.VM     // nil for co-kernels
-}
 
 func main() {
 	spec := flag.String("spec", "kitten,kitten(vm,vm),vm", "topology spec (see doc comment)")
@@ -112,82 +96,29 @@ func main() {
 	}
 }
 
-// buildTopology boots the spec's enclave tree under node's management
-// enclave, returning the enclaves in spec order.
-func buildTopology(node *xemem.Node, spec string) ([]*enclave, error) {
-	var enclaves []*enclave
-	var counter int
-	var build func(spec string, parentKitten *pisces.CoKernel) error
-	build = func(spec string, parentKitten *pisces.CoKernel) error {
-		for _, part := range splitTop(spec) {
-			kind, children := part, ""
-			if i := strings.IndexByte(part, '('); i >= 0 {
-				if !strings.HasSuffix(part, ")") {
-					return fmt.Errorf("unbalanced parens in %q", part)
-				}
-				kind, children = part[:i], part[i+1:len(part)-1]
-			}
-			counter++
-			name := fmt.Sprintf("%s%d", kind, counter)
-			switch kind {
-			case "kitten":
-				var ck *pisces.CoKernel
-				var err error
-				if parentKitten == nil {
-					ck, err = node.BootCoKernel(name, 1<<30)
-				} else {
-					ck, err = pisces.CreateCoKernel(name, node.World(), node.Costs(), node.Phys(),
-						parentKitten.OS.Zone(), 512<<20, parentKitten.Module)
-				}
-				if err != nil {
-					return err
-				}
-				enclaves = append(enclaves, &enclave{name: name, mod: ck.Module, kitten: ck})
-				if children != "" {
-					if err := build(children, ck); err != nil {
-						return err
-					}
-				}
-			case "vm":
-				if children != "" {
-					return fmt.Errorf("vm nodes are leaves: %q", part)
-				}
-				var vm *palacios.VM
-				var err error
-				if parentKitten == nil {
-					vm, err = node.BootVM(name, 256<<20, 1)
-				} else {
-					vm, err = node.BootVMOnCoKernel(name, parentKitten, 256<<20, 1)
-				}
-				if err != nil {
-					return err
-				}
-				enclaves = append(enclaves, &enclave{name: name, mod: vm.Module, vm: vm})
-			default:
-				return fmt.Errorf("unknown node kind %q", kind)
-			}
-		}
-		return nil
-	}
-	if err := build(spec, nil); err != nil {
+// buildTopology parses and boots the spec under node's management
+// enclave via the public Topology API.
+func buildTopology(node *xemem.Node, spec string) ([]*xemem.Enclave, error) {
+	topo, err := xemem.ParseTopology(spec)
+	if err != nil {
 		return nil, err
 	}
-	return enclaves, nil
+	return topo.Build(node)
 }
 
 // fingerprint renders the bootstrap outcome — enclave IDs and routing
 // tables — as the text the determinism check compares across replicas.
-func fingerprint(node *xemem.Node, enclaves []*enclave) string {
+func fingerprint(node *xemem.Node, enclaves []*xemem.Enclave) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Enclave IDs (name-server allocated):\n")
 	fmt.Fprintf(&b, "  %-16s enclave %d (name server)\n", node.LinuxModule().Name(), node.LinuxModule().EnclaveID())
 	for _, e := range enclaves {
-		fmt.Fprintf(&b, "  %-16s enclave %d\n", e.mod.Name(), e.mod.EnclaveID())
+		fmt.Fprintf(&b, "  %-16s enclave %d\n", e.Module.Name(), e.Module.EnclaveID())
 	}
 	fmt.Fprintf(&b, "\nRouting tables:\n")
 	fmt.Fprintf(&b, "  %s\n", node.LinuxModule().R.RouteTable())
 	for _, e := range enclaves {
-		fmt.Fprintf(&b, "  %s\n", e.mod.R.RouteTable())
+		fmt.Fprintf(&b, "  %s\n", e.Module.R.RouteTable())
 	}
 	return b.String()
 }
@@ -228,17 +159,17 @@ func replicaCheck(seed uint64, spec string, replicas int, want string) error {
 }
 
 // runDemo exports from src and attaches from dst, whatever kinds they are.
-func runDemo(node *xemem.Node, src, dst *enclave) {
-	mkSess := func(e *enclave, role string) (*xpmem.Session, pagetable.VA) {
-		if e.kitten != nil {
-			sess, heap, err := node.KittenProcess(e.kitten, role, 1<<20)
+func runDemo(node *xemem.Node, src, dst *xemem.Enclave) {
+	mkSess := func(e *xemem.Enclave, role string) (*xpmem.Session, pagetable.VA) {
+		if e.Kitten != nil {
+			sess, heap, err := node.KittenProcess(e.Kitten, role, 1<<20)
 			if err != nil {
 				log.Fatal(err)
 			}
 			return sess, heap.Base
 		}
-		sess, p := node.GuestProcess(e.vm, role, 0)
-		region, err := xemem.AllocLinux(e.vm.Guest, p, "buf", 1<<20, true)
+		sess, p := node.GuestProcess(e.VM, role, 0)
+		region, err := xemem.AllocLinux(e.VM.Guest, p, "buf", 1<<20, true)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -255,12 +186,12 @@ func runDemo(node *xemem.Node, src, dst *enclave) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		apid, err := attSess.Get(a, segid, xpmem.PermRead)
+		apid, err := attSess.GetWith(a, segid, xpmem.GetOpts{Perm: xpmem.PermRead})
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := a.Now()
-		va, err := attSess.Attach(a, segid, apid, 0, 64<<12, xpmem.PermRead)
+		va, err := attSess.AttachWith(a, segid, apid, xpmem.AttachOpts{Bytes: 64 << 12, Perm: xpmem.PermRead})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -269,32 +200,9 @@ func runDemo(node *xemem.Node, src, dst *enclave) {
 			log.Fatal(err)
 		}
 		fmt.Printf("demo: %s → %s attach completed in %v, read %q\n\n",
-			src.name, dst.name, a.Now()-start, buf)
+			src.Name, dst.Name, a.Now()-start, buf)
 	})
 	if err := node.Run(); err != nil {
 		log.Fatal(err)
 	}
-}
-
-// splitTop splits a spec on commas at paren depth zero.
-func splitTop(s string) []string {
-	var out []string
-	depth, start := 0, 0
-	for i, r := range s {
-		switch r {
-		case '(':
-			depth++
-		case ')':
-			depth--
-		case ',':
-			if depth == 0 {
-				out = append(out, strings.TrimSpace(s[start:i]))
-				start = i + 1
-			}
-		}
-	}
-	if tail := strings.TrimSpace(s[start:]); tail != "" {
-		out = append(out, tail)
-	}
-	return out
 }

@@ -39,13 +39,13 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			apid, err := attSess.Get(a, segid, xpmem.PermRead)
+			apid, err := attSess.GetWith(a, segid, xpmem.GetOpts{Perm: xpmem.PermRead})
 			if err != nil {
 				log.Fatal(err)
 			}
 			ck.OS.Core().StartRecording()
 			for t := 0; t < 10; t++ {
-				va, err := attSess.Attach(a, segid, apid, 0, bytes, xpmem.PermRead)
+				va, err := attSess.AttachWith(a, segid, apid, xpmem.AttachOpts{Bytes: bytes, Perm: xpmem.PermRead})
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -61,11 +61,16 @@ var fixtureTests = []struct {
 			{"internal/app/app.go", 20, "paircheck", `Get handle "apid" is never used again`},
 			{"internal/app/app.go", 57, "paircheck", `GetWith handle "apid" is never used again`},
 			{"internal/app/app.go", 62, "paircheck", "AttachWith result discarded"},
+			{"internal/app/coll.go", 19, "paircheck", "AttachCached handle bound to _"},
+			{"internal/app/coll.go", 35, "paircheck", `register handle "b" is never used again`},
 			{"internal/app/helper.go", 33, "paircheck", "is only ever read"},
 			// LeakExcused is suppressed; Paired/Transfers/TransfersVar/
 			// PairedOpts release or transfer ownership and must stay
 			// silent — as must PairedViaHelper, whose release happens
-			// inside the retire helper.
+			// inside the retire helper. The registration-cache pairs:
+			// PairedCached detaches, PairedBinding unregisters, and
+			// TransfersBinding parks the binding in caller-owned state —
+			// all silent.
 		},
 	},
 	{

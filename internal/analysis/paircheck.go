@@ -52,13 +52,27 @@ var pairs = []pairSpec{
 		recv:    pairRecvSet,
 		acquire: "AttachWith", release: "Detach", noun: "attachment address",
 	},
+	// The registration-cache forms: AttachCached returns the same
+	// mapping address as AttachWith (possibly recovered from the
+	// attacher-side cache) and retires through the same Detach, which
+	// also invalidates the cache entry. The collective communicator's
+	// register wraps a Get + AttachCached into one binding that must be
+	// unregistered on teardown.
+	{
+		recv:    pairRecvSet,
+		acquire: "AttachCached", release: "Detach", noun: "attachment address",
+	},
+	{
+		recv:    pairRecvSet,
+		acquire: "register", release: "unregister", noun: "registration-cache binding",
+	},
 }
 
 func newPaircheck() *Analyzer {
 	return &Analyzer{
 		Name:    "paircheck",
-		Doc:     "flags XPMEM Get/Attach handles no path can Release/Detach (directly or via a summarized helper); escaped handles transfer ownership and are exempt",
-		Version: 2,
+		Doc:     "flags XPMEM Get/Attach/AttachCached handles and coll registration-cache bindings no path can release (directly or via a summarized helper); escaped handles transfer ownership and are exempt",
+		Version: 3,
 		Run: func(pass *Pass) any {
 			for _, f := range pass.Pkg.Files {
 				for _, decl := range f.Decls {

@@ -292,11 +292,14 @@ func (s *Summaries) costsReturns(info *types.Info, fd *ast.FuncDecl) []string {
 }
 
 // releaseNames are the calls that retire a handle, on the XPMEM API
-// receivers paircheck guards.
-var releaseNames = map[string]bool{"Release": true, "Detach": true}
+// receivers paircheck guards. unregister is the collective
+// communicator's retire call for a registration-cache binding.
+var releaseNames = map[string]bool{"Release": true, "Detach": true, "unregister": true}
 
 // pairRecvSet are the receiver type names the pair table applies to.
-var pairRecvSet = map[string]bool{"Session": true, "Module": true}
+// Communicator is internal/coll's: its register/unregister pair wraps a
+// Get + AttachCached whose teardown the binding owner must drive.
+var pairRecvSet = map[string]bool{"Session": true, "Module": true, "Communicator": true}
 
 // classifyUses walks every appearance of obj in body and classifies it.
 // released: some path passes obj to a Release/Detach or to a callee

@@ -22,3 +22,7 @@ func (s *Session) GetWith(segid int) (int, error) { return segid + 1, nil }
 
 // AttachWith is the option-struct form of Attach.
 func (s *Session) AttachWith(apid int) (uintptr, error) { return uintptr(apid), nil }
+
+// AttachCached is the registration-cache form of Attach: same handle,
+// same Detach.
+func (s *Session) AttachCached(apid int) (uintptr, error) { return uintptr(apid), nil }

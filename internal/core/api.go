@@ -609,6 +609,19 @@ func (m *Module) CheckAccess(p *proc.Process, va pagetable.VA) error {
 	return nil
 }
 
+// AttachmentLive reports whether va still names a live attachment of p:
+// mapped, tracked by the module, and not poisoned by its owner
+// enclave's crash. The attacher-side registration cache probes this
+// before trusting a memoized window (internal/xpmem).
+func (m *Module) AttachmentLive(p *proc.Process, va pagetable.VA) bool {
+	region := p.AS.FindRegion(va)
+	if region == nil {
+		return false
+	}
+	att, ok := m.attachments[region]
+	return ok && !att.Poisoned
+}
+
 // Segment returns the owner-side record for a locally owned segid
 // (diagnostics and tests).
 func (m *Module) Segment(segid xproto.Segid) (*Segment, bool) {

@@ -180,6 +180,30 @@ type Costs struct {
 	// receive, parse, and answer one attachment request (IPI handling,
 	// message copies) — the floor of a Fig. 7 attachment detour.
 	ServeFixed Time
+
+	// --- Hierarchical collectives (internal/coll) -------------------------
+
+	// RegProbe is the attacher-side registration-cache probe: a syscall
+	// into the XPMEM driver that looks up the cached window and validates
+	// it against the attachment table (liveness check), paid on every
+	// cached attach (hit or miss) before any protocol work. Syscall-scale,
+	// not cache-line-scale: the probe crosses the kernel boundary.
+	RegProbe Time
+
+	// CollFlagSync is one control-flag transfer between collective
+	// ranks — a cache-line round trip through the shared arena, paid per
+	// pipeline-chunk handoff and per barrier arrival/release.
+	CollFlagSync Time
+
+	// CollNUMABW, CollSocketBW, and CollFlatBW are the streaming copy
+	// bandwidths of a collective data move whose endpoints share a NUMA
+	// domain, share only a socket, or share neither — the locality cost
+	// tiers the hierarchy exists to exploit (PAPERS.md, "Emulating
+	// Hybrid Memory on NUMA Hardware"). Charged per chunk against the
+	// level of the hierarchy edge the chunk crosses.
+	CollNUMABW   float64
+	CollSocketBW float64
+	CollFlatBW   float64
 }
 
 // DefaultCosts returns the calibrated cost model described on Costs.
@@ -226,6 +250,12 @@ func DefaultCosts() *Costs {
 		LeaseCheck: 30 * Nanosecond,
 
 		ServeFixed: 11 * Microsecond,
+
+		RegProbe:     2 * Microsecond,
+		CollFlagSync: 120 * Nanosecond,
+		CollNUMABW:   15e9,
+		CollSocketBW: 11e9,
+		CollFlatBW:   8e9,
 	}
 }
 

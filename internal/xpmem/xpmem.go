@@ -78,6 +78,15 @@ type (
 type Session struct {
 	mod *core.Module
 	p   *proc.Process
+
+	// Attacher-side registration cache (regcache.go): memoized attach
+	// windows keyed by the full attach request, with a reverse index so
+	// Detach can invalidate by address. Lazily allocated on the first
+	// AttachCached; sessions that never use the cached form carry nil
+	// maps and zero counters.
+	reg      map[regKey]pagetable.VA
+	regByVA  map[pagetable.VA]regKey
+	regStats sim.CacheStats
 }
 
 // NewSession binds process p to its enclave module.
@@ -142,8 +151,16 @@ func (s *Session) AttachWith(a *sim.Actor, segid Segid, apid Apid, opts AttachOp
 }
 
 // Detach unmaps an attachment by any address within it (xpmem_detach).
+// Detaching a window held by the registration cache invalidates its
+// entry.
 func (s *Session) Detach(a *sim.Actor, va pagetable.VA) error {
-	return s.mod.Detach(a, s.p, va)
+	if err := s.mod.Detach(a, s.p, va); err != nil {
+		return err
+	}
+	if key, ok := s.regByVA[va]; ok {
+		s.dropReg(a, key)
+	}
+	return nil
 }
 
 // Lookup resolves a published segment name (discoverability, §3.1).
