@@ -29,6 +29,12 @@
 // labels that name the hierarchy level, so a contention observer
 // attributes collective time level by level.
 //
+// Every data collective ends with an internal drain fence (a tree
+// barrier on the operation's own counters): no rank returns from an
+// operation while any peer still reads its buffer or a CICO arena
+// slot, so consecutive collectives — and application buffer rewrites
+// between them — need no explicit Barrier.
+//
 // Control flags live host-side in the Communicator and are safe under
 // the world's one-runnable-goroutine guarantee; all rank actors must
 // share one partition (they do by default). Every rank must issue the

@@ -247,6 +247,69 @@ func TestMixedEnclaveSequence(t *testing.T) {
 	}
 }
 
+// TestBackToBackNoBarrier pins the drain contract on both data planes:
+// consecutive collectives — with the root rewriting its buffer between
+// them — need no interleaved Barrier, because each operation's tail
+// fence keeps every rank inside the call until all peers finished
+// reading its buffer and the arena slots. Without the drain, the root
+// (which does no work in a zero-copy broadcast) would return instantly
+// and its rewrite would race the still-in-flight pulls; a CICO leader
+// would overwrite slots of the previous operation's final chunk.
+func TestBackToBackNoBarrier(t *testing.T) {
+	const bytes, iters, root = 48 << 10, 3, 1
+	iterPat := func(it, i int) byte { return byte(it*31 + i*7 + 5) }
+	for _, tc := range []struct {
+		name string
+		mode coll.Mode
+	}{{"zc", coll.ModeZeroCopy}, {"cico", coll.ModeCICO}} {
+		t.Run(tc.name, func(t *testing.T) {
+			rg := buildRig(t, 41, sixKittens, 64<<10, coll.Opts{
+				ChunkBytes: chunkBytes, Mode: tc.mode})
+			rg.fill(t)
+			rg.run(t, func(a *sim.Actor, rank int) error {
+				m := rg.members[rank]
+				for it := 0; it < iters; it++ {
+					if rank == root {
+						data := make([]byte, bytes)
+						for i := range data {
+							data[i] = iterPat(it, i)
+						}
+						if _, err := m.Sess.Write(m.Buf, data); err != nil {
+							return err
+						}
+					}
+					if err := rg.comm.Bcast(a, rank, root, bytes); err != nil {
+						return err
+					}
+					buf := make([]byte, bytes)
+					if _, err := m.Sess.Read(m.Buf, buf); err != nil {
+						return err
+					}
+					for i, b := range buf {
+						if want := iterPat(it, i); b != want {
+							return fmt.Errorf("iter %d byte %d = %#x, want %#x", it, i, b, want)
+						}
+					}
+				}
+				// Two allreduces in a row reuse the reduce slots across
+				// operations: each multiplies every byte by the rank count.
+				if err := rg.comm.Allreduce(a, rank, bytes); err != nil {
+					return err
+				}
+				return rg.comm.Allreduce(a, rank, bytes)
+			})
+			n := byte(len(rg.members))
+			for r, buf := range rg.bufs(t) {
+				for i := 0; uint64(i) < bytes; i++ {
+					if want := n * n * iterPat(iters-1, i); buf[i] != want {
+						t.Fatalf("rank %d byte %d = %#x, want %#x", r, i, buf[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestBarrierOrdering asserts the barrier contract on the virtual
 // clock: no rank is released before the last rank arrived, even with
 // deliberately staggered arrivals.

@@ -47,8 +47,8 @@ type opState struct {
 	redIn   [][]uint64
 	redAck  [][]uint64 // per group × reduce slot: chunks pushed / consumed
 
-	arrive  []uint64 // per group: barrier arrivals
-	release []uint64 // per group: barrier release flag
+	arrive  []uint64 // per group: fence arrivals (drain barrier / Barrier)
+	release []uint64 // per group: fence release flag
 
 	// wins memoizes the zero-copy window a rank resolved to each source
 	// this operation: the registration-cache probe is a syscall, so a
@@ -220,6 +220,34 @@ func (c *Communicator) sync(a *sim.Actor, lvl int) {
 	a.Charge(c.labels[lvl].sync, c.costs.CollFlagSync)
 }
 
+// fence is the drain at the tail of every collective: arrivals tally up
+// the hierarchy to the canonical root, releases fan back down, on the
+// operation's own arrive/release counters. A rank arrives only after
+// its last read of the operation — zero-copy pulls out of peer buffers
+// and CICO slot copies alike — so by the time any rank returns, every
+// rank has finished reading. Without it, a rank entering operation N+1
+// would pass the fresh op's zeroed slot gates and overwrite arena slots
+// (or rewrite its application buffer) that slow readers of operation N
+// are still copying out of.
+func (c *Communicator) fence(a *sim.Actor, rank int, op *opState) {
+	for _, gid := range c.led[rank] {
+		g := c.groups[gid]
+		a.Poll(pollInterval, func() bool { return op.arrive[g.id] == uint64(g.readers()) })
+		c.sync(a, g.lvl)
+	}
+	if e := c.edge[rank]; e >= 0 {
+		g := c.groups[e]
+		op.arrive[g.id]++
+		c.sync(a, g.lvl)
+		a.Poll(pollInterval, func() bool { return op.release[g.id] == 1 })
+	}
+	for i := len(c.led[rank]) - 1; i >= 0; i-- {
+		g := c.groups[c.led[rank][i]]
+		op.release[g.id] = 1
+		c.sync(a, g.lvl)
+	}
+}
+
 // serveDown publishes rank's buffer chunk chk into the broadcast slot of
 // every group it leads (CICO plane): waits for the slot's previous chunk
 // to drain, copies in, and bumps the slot counter.
@@ -270,7 +298,10 @@ func (c *Communicator) recvDown(a *sim.Actor, rank, chk int, op *opState, copy b
 // rank, pipelined chunk by chunk down the hierarchy. When root is not
 // the canonical top leader, the payload first relocates to it over a
 // registered top-tier window. Every rank calls Bcast from its own actor
-// with identical root and bytes.
+// with identical root and bytes. The operation ends with an internal
+// drain fence: when Bcast returns, every rank has finished reading this
+// rank's buffer and the CICO arena slots, so the caller may immediately
+// rewrite its buffer or start the next collective without a Barrier.
 func (c *Communicator) Bcast(a *sim.Actor, rank, root int, bytes uint64) error {
 	if err := c.checkOp(root, bytes); err != nil {
 		return err
@@ -316,6 +347,7 @@ func (c *Communicator) Bcast(a *sim.Actor, rank, root int, bytes uint64) error {
 			}
 		}
 	}
+	c.fence(a, rank, op)
 	c.finish(seq, op)
 	return nil
 }
@@ -323,7 +355,9 @@ func (c *Communicator) Bcast(a *sim.Actor, rank, root int, bytes uint64) error {
 // Allreduce folds the first bytes of every rank's buffer together
 // byte-wise (sum mod 256) and leaves the result in every buffer:
 // reduce-up into the canonical root interleaved, chunk by chunk, with
-// the broadcast back down.
+// the broadcast back down. Like Bcast it ends with an internal drain
+// fence, so returning guarantees no peer still reads this rank's
+// buffer or arena slots.
 func (c *Communicator) Allreduce(a *sim.Actor, rank int, bytes uint64) error {
 	if err := c.checkOp(0, bytes); err != nil {
 		return err
@@ -392,34 +426,19 @@ func (c *Communicator) Allreduce(a *sim.Actor, rank int, bytes uint64) error {
 			}
 		}
 	}
+	c.fence(a, rank, op)
 	c.finish(seq, op)
 	return nil
 }
 
-// Barrier blocks until every rank has entered it: arrivals tally up the
-// hierarchy to the canonical root, releases fan back down. No data
-// moves, so neither Setup nor a data plane is involved.
+// Barrier blocks until every rank has entered it: a bare drain fence.
+// No data moves, so neither Setup nor a data plane is involved.
 func (c *Communicator) Barrier(a *sim.Actor, rank int) error {
 	op, seq, err := c.opFor(rank, opBarrier, c.canonRoot, 0)
 	if err != nil {
 		return err
 	}
-	for _, gid := range c.led[rank] {
-		g := c.groups[gid]
-		a.Poll(pollInterval, func() bool { return op.arrive[g.id] == uint64(g.readers()) })
-		c.sync(a, g.lvl)
-	}
-	if e := c.edge[rank]; e >= 0 {
-		g := c.groups[e]
-		op.arrive[g.id]++
-		c.sync(a, g.lvl)
-		a.Poll(pollInterval, func() bool { return op.release[g.id] == 1 })
-	}
-	for i := len(c.led[rank]) - 1; i >= 0; i-- {
-		g := c.groups[c.led[rank][i]]
-		op.release[g.id] = 1
-		c.sync(a, g.lvl)
-	}
+	c.fence(a, rank, op)
 	c.finish(seq, op)
 	return nil
 }

@@ -609,17 +609,20 @@ func (m *Module) CheckAccess(p *proc.Process, va pagetable.VA) error {
 	return nil
 }
 
-// AttachmentLive reports whether va still names a live attachment of p:
-// mapped, tracked by the module, and not poisoned by its owner
-// enclave's crash. The attacher-side registration cache probes this
-// before trusting a memoized window (internal/xpmem).
-func (m *Module) AttachmentLive(p *proc.Process, va pagetable.VA) bool {
+// AttachmentLive reports whether va still names a live attachment of p
+// onto the given segid/apid: mapped, tracked by the module, identity-
+// matched, and not poisoned by its owner enclave's crash. The
+// attacher-side registration cache probes this before trusting a
+// memoized window (internal/xpmem); the identity check keeps a stale
+// cache entry from vouching for a different attachment later mapped
+// over the same address.
+func (m *Module) AttachmentLive(p *proc.Process, va pagetable.VA, segid xproto.Segid, apid xproto.Apid) bool {
 	region := p.AS.FindRegion(va)
 	if region == nil {
 		return false
 	}
 	att, ok := m.attachments[region]
-	return ok && !att.Poisoned
+	return ok && !att.Poisoned && att.Segid == segid && att.Apid == apid
 }
 
 // Segment returns the owner-side record for a locally owned segid

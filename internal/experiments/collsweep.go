@@ -262,9 +262,10 @@ func collRun(obs observeFn, seed uint64, depth int, mix string, bytes uint64, mo
 	}
 
 	// Per rank × iteration latencies; the iteration's cost is the slowest
-	// rank's (collectives complete when the last rank is done).
-	var runErr error
+	// rank's (collectives complete when the last rank is done). Errors
+	// are kept per rank so one failure cannot shadow another's.
 	nr := len(members)
+	rankErr := make([]error, nr)
 	bcastRank := make([]int64, collIters*nr)
 	arRank := make([]int64, collIters*nr)
 	for r := range members {
@@ -272,36 +273,36 @@ func collRun(obs observeFn, seed uint64, depth int, mix string, bytes uint64, mo
 		node.Spawn(fmt.Sprintf("rank%d", r), func(a *sim.Actor) {
 			for it := 0; it < collIters; it++ {
 				if err := comm.Barrier(a, r); err != nil {
-					runErr = err
+					rankErr[r] = err
 					return
 				}
 				t0 := a.Now()
 				if err := comm.Bcast(a, r, 0, bytes); err != nil {
-					runErr = err
+					rankErr[r] = err
 					return
 				}
 				bcastRank[it*nr+r] = int64(a.Now() - t0)
 				if err := comm.Barrier(a, r); err != nil {
-					runErr = err
+					rankErr[r] = err
 					return
 				}
 				t0 = a.Now()
 				if err := comm.Allreduce(a, r, bytes); err != nil {
-					runErr = err
+					rankErr[r] = err
 					return
 				}
 				arRank[it*nr+r] = int64(a.Now() - t0)
 			}
-			if err := comm.Close(a, r); err != nil {
-				runErr = err
-			}
+			rankErr[r] = comm.Close(a, r)
 		})
 	}
 	if err := node.Run(); err != nil {
 		return cell, err
 	}
-	if runErr != nil {
-		return cell, runErr
+	for r, err := range rankErr {
+		if err != nil {
+			return cell, fmt.Errorf("rank %d: %w", r, err)
+		}
 	}
 
 	bcastNs := make([]int64, collIters)

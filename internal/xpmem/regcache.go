@@ -42,7 +42,7 @@ func (s *Session) AttachCached(a *sim.Actor, segid Segid, apid Apid, opts Attach
 	a.Charge("reg-cache-probe", s.mod.Costs().RegProbe)
 	key := regKey{segid: segid, apid: apid, offset: opts.Offset, bytes: opts.Bytes, perm: opts.Perm}
 	if va, ok := s.reg[key]; ok {
-		if s.mod.AttachmentLive(s.p, va) {
+		if s.mod.AttachmentLive(s.p, va, key.segid, key.apid) {
 			s.regStats.Hits++
 			s.count(a, "reg-cache-hit")
 			return va, nil

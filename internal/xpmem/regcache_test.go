@@ -9,6 +9,7 @@ import (
 	"xemem/internal/fault"
 	"xemem/internal/linuxos"
 	"xemem/internal/mem"
+	"xemem/internal/pagetable"
 	"xemem/internal/pisces"
 	"xemem/internal/proc"
 	"xemem/internal/sim"
@@ -144,6 +145,51 @@ func TestRegCacheHitMissDetach(t *testing.T) {
 	}
 	if s := n.attSess.RegCacheStats(); s.HitRate() <= 0 || s.HitRate() >= 1 {
 		t.Fatalf("hit rate = %v, want in (0,1)", s.HitRate())
+	}
+}
+
+// TestRegCacheInteriorDetach: Detach addresses an attachment by any VA
+// inside it, so invalidation must fire for an interior address exactly
+// as for the cached base — eagerly at detach time, not lazily at the
+// next probe — or the stale entry lingers in the reverse index.
+func TestRegCacheInteriorDetach(t *testing.T) {
+	n := newRegNode(t, 57)
+	const bytes = 16 * extent.PageSize
+	opts := xpmem.AttachOpts{Bytes: bytes, Perm: xpmem.PermRead}
+	n.w.Spawn("driver", func(a *sim.Actor) {
+		segid, err := n.expSess.Make(a, n.heap.Base, bytes, xpmem.PermRead, "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		apid, err := n.attSess.GetWith(a, segid, xpmem.GetOpts{Perm: xpmem.PermRead})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		va, err := n.attSess.AttachCached(a, segid, apid, opts)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := n.attSess.Detach(a, va+pagetable.VA(3*extent.PageSize)); err != nil {
+			t.Error(err)
+			return
+		}
+		if s := n.attSess.RegCacheStats(); s.Invalidations != 1 {
+			t.Errorf("after interior detach: %+v, want 1 invalidation", s)
+		}
+		// The next attach runs the full protocol afresh.
+		if _, err := n.attSess.AttachCached(a, segid, apid, opts); err != nil {
+			t.Error(err)
+			return
+		}
+		if s := n.attSess.RegCacheStats(); s.Misses != 2 || s.Hits != 0 {
+			t.Errorf("after re-attach: %+v, want 2 misses 0 hits", s)
+		}
+	})
+	if err := n.w.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -152,12 +152,20 @@ func (s *Session) AttachWith(a *sim.Actor, segid Segid, apid Apid, opts AttachOp
 
 // Detach unmaps an attachment by any address within it (xpmem_detach).
 // Detaching a window held by the registration cache invalidates its
-// entry.
+// entry — the cache is keyed by the window's base address, so the base
+// is resolved before the unmap tears the region down, and an interior
+// address invalidates just as the base does.
 func (s *Session) Detach(a *sim.Actor, va pagetable.VA) error {
+	base := va
+	if len(s.regByVA) > 0 {
+		if region := s.p.AS.FindRegion(va); region != nil {
+			base = region.Base
+		}
+	}
 	if err := s.mod.Detach(a, s.p, va); err != nil {
 		return err
 	}
-	if key, ok := s.regByVA[va]; ok {
+	if key, ok := s.regByVA[base]; ok {
 		s.dropReg(a, key)
 	}
 	return nil
